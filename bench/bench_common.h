@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Shared helpers for the benchmark harnesses.
+ *
+ * Every bench binary reproduces one table or figure from the paper: it
+ * prints the same rows/series the paper reports (plus the paper's
+ * reference values where the text states them) and mirrors the data to
+ * results/<name>.csv for plotting.
+ */
+#ifndef ECHO_BENCH_BENCH_COMMON_H
+#define ECHO_BENCH_BENCH_COMMON_H
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "core/logging.h"
+#include "core/table.h"
+
+namespace echo::bench {
+
+/** Print the bench banner and silence warn/inform noise. */
+inline void
+begin(const std::string &title, const std::string &what)
+{
+    setQuiet(true);
+    std::printf("==============================================================\n");
+    std::printf("%s\n", title.c_str());
+    std::printf("%s\n", what.c_str());
+    std::printf("==============================================================\n");
+}
+
+/** Write @p table to results/<name>.csv (best effort) and print it. */
+inline void
+emit(const Table &table, const std::string &name)
+{
+    table.print();
+    std::error_code ec;
+    std::filesystem::create_directories("results", ec);
+    if (!ec)
+        table.writeCsv("results/" + name + ".csv");
+    std::printf("\n");
+}
+
+/** Print a free-form note line. */
+inline void
+note(const std::string &text)
+{
+    std::printf("note: %s\n", text.c_str());
+}
+
+} // namespace echo::bench
+
+#endif // ECHO_BENCH_BENCH_COMMON_H

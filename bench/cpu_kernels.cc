@@ -1,0 +1,125 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the CPU tensor library.
+ *
+ * These time the library's own numeric kernels (not the paper's GPU
+ * results — those come from the analytical model in the fig* benches):
+ * useful for keeping the executor fast enough to drive the numeric
+ * training experiments.
+ */
+#include <benchmark/benchmark.h>
+
+#include "core/rng.h"
+#include "tensor/ops.h"
+
+using namespace echo;
+
+namespace {
+
+void
+BM_GemmNN(benchmark::State &state)
+{
+    const int64_t n = state.range(0);
+    Rng rng(1);
+    const Tensor a = Tensor::uniform(Shape({n, n}), rng);
+    const Tensor b = Tensor::uniform(Shape({n, n}), rng);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(ops::gemm(a, false, b, false));
+    }
+    state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_GemmNN)->Arg(32)->Arg(64)->Arg(128);
+
+void
+BM_GemmNT(benchmark::State &state)
+{
+    const int64_t n = state.range(0);
+    Rng rng(1);
+    const Tensor a = Tensor::uniform(Shape({n, n}), rng);
+    const Tensor b = Tensor::uniform(Shape({n, n}), rng);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(ops::gemm(a, false, b, true));
+    }
+    state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_GemmNT)->Arg(64)->Arg(128);
+
+void
+BM_Tanh(benchmark::State &state)
+{
+    const int64_t n = state.range(0);
+    Rng rng(2);
+    const Tensor x = Tensor::uniform(Shape({n}), rng);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(ops::tanh(x));
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_Tanh)->Arg(1 << 10)->Arg(1 << 16);
+
+void
+BM_SoftmaxRows(benchmark::State &state)
+{
+    Rng rng(3);
+    const Tensor x =
+        Tensor::uniform(Shape({64, state.range(0)}), rng);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(ops::softmaxLastAxis(x));
+    }
+}
+BENCHMARK(BM_SoftmaxRows)->Arg(128)->Arg(1024);
+
+void
+BM_LayerNorm(benchmark::State &state)
+{
+    Rng rng(4);
+    const Tensor x =
+        Tensor::uniform(Shape({64, state.range(0)}), rng);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(ops::layerNormLastAxis(x));
+    }
+}
+BENCHMARK(BM_LayerNorm)->Arg(128)->Arg(1024);
+
+void
+BM_BroadcastAddBT(benchmark::State &state)
+{
+    Rng rng(5);
+    const int64_t t = state.range(0);
+    const Tensor x = Tensor::uniform(Shape({32, t, 256}), rng);
+    const Tensor q = Tensor::uniform(Shape({32, 256}), rng);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(ops::broadcastAddBT(x, q));
+    }
+}
+BENCHMARK(BM_BroadcastAddBT)->Arg(16)->Arg(64);
+
+void
+BM_SequenceReverse(benchmark::State &state)
+{
+    Rng rng(6);
+    const Tensor x =
+        Tensor::uniform(Shape({state.range(0), 32, 128}), rng);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(ops::reverseAxis(x, 0));
+    }
+}
+BENCHMARK(BM_SequenceReverse)->Arg(50);
+
+void
+BM_EmbeddingLookup(benchmark::State &state)
+{
+    Rng rng(7);
+    const Tensor table = Tensor::uniform(Shape({10000, 256}), rng);
+    Tensor ids(Shape({32, 35}));
+    for (int64_t i = 0; i < ids.numel(); ++i)
+        ids.at(i) = static_cast<float>(rng.uniformInt(10000));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(ops::embeddingLookup(table, ids));
+    }
+}
+BENCHMARK(BM_EmbeddingLookup);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Fig. 4 — training throughput versus batch size.
+ *
+ * (a) The ResNet-50-class CNN proxy: compute-bound, so throughput
+ *     saturates once the GPU is full (~batch 32).
+ * (b) NMT: throughput keeps growing with batch size until the model no
+ *     longer fits in the 12 GB Titan Xp — the memory capacity wall that
+ *     motivates footprint reduction.
+ */
+#include "bench_common.h"
+#include "models/cnn_proxy.h"
+#include "train/nmt_eval.h"
+
+using namespace echo;
+
+int
+main()
+{
+    bench::begin("Fig. 4(a): ResNet-50 proxy throughput vs batch size",
+                 "CNN training saturates the GPU compute units early.");
+    {
+        Table table({"batch", "throughput (samples/s)", "scaling vs B/2",
+                     "GPU busy fraction"});
+        double prev = 0.0;
+        for (const int64_t batch : {4, 8, 16, 32, 64, 128}) {
+            models::CnnConfig cfg;
+            cfg.batch = batch;
+            models::CnnModel model(cfg);
+            const auto prof = train::profileIteration(
+                model.fetches(), model.weightGrads());
+            const double thpt = prof.throughput(batch);
+            table.addRow(
+                {std::to_string(batch), Table::fmt(thpt, 1),
+                 prev > 0.0 ? Table::fmt(thpt / prev, 2) + "x" : "-",
+                 Table::fmt(prof.runtime.gpu_kernel_time_us /
+                                prof.runtime.wall_time_us,
+                            2)});
+            prev = thpt;
+        }
+        bench::emit(table, "fig04a_cnn");
+        bench::note("paper: ResNet-50 throughput saturates from batch "
+                    "~32 (compute-bound); scaling factor -> 1x.");
+    }
+
+    bench::begin("Fig. 4(b): NMT throughput and memory vs batch size",
+                 "LSTM NMT keeps scaling until it hits the 12 GB wall.");
+    {
+        Table table({"batch", "throughput (samples/s)",
+                     "memory (max bucket)", "fits 12 GB?"});
+        for (const int64_t batch : {16, 32, 64, 128, 256}) {
+            models::NmtConfig cfg;
+            cfg.batch = batch;
+            const auto prof = train::profileNmtBucketed(
+                cfg, train::iwsltBuckets());
+            table.addRow({std::to_string(batch),
+                          Table::fmt(prof.throughput, 1),
+                          Table::fmtBytes(static_cast<uint64_t>(
+                              prof.device_bytes)),
+                          prof.fits ? "yes" : "NO (memory wall)"});
+        }
+        bench::emit(table, "fig04b_nmt");
+        bench::note("paper: NMT throughput grows with batch size; "
+                    "memory hits the 12 GB capacity at batch 128 and "
+                    "batch cannot be increased further.");
+    }
+    return 0;
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Fig. 6 — NMT runtime breakdown of one training iteration, by GPU
+ * kernel category and by CUDA API, including the SequenceReverse
+ * bottleneck of the unfixed MXNet kernel (§5.1).
+ */
+#include "bench_common.h"
+#include "models/nmt.h"
+#include "train/simulation.h"
+
+using namespace echo;
+
+namespace {
+
+void
+profileOne(const char *label, bool parallel_reverse,
+           const std::string &csv_name)
+{
+    models::NmtConfig cfg;
+    cfg.batch = 128;
+    cfg.src_len = 100;
+    cfg.tgt_len = 100;
+    cfg.parallel_reverse = parallel_reverse;
+    models::NmtModel model(cfg);
+    const auto prof = train::profileIteration(model.fetches(),
+                                              model.weightGrads());
+
+    std::printf("--- %s ---\n", label);
+    Table kernels({"GPU kernel category", "time (ms)", "fraction"});
+    for (const auto &[cat, us] : prof.runtime.kernel_time_by_category) {
+        kernels.addRow({cat, Table::fmt(us / 1e3, 2),
+                        Table::fmtPercent(
+                            us / prof.runtime.gpu_kernel_time_us)});
+    }
+    bench::emit(kernels, csv_name + "_kernels");
+
+    Table api({"CUDA API", "time (ms)"});
+    api.addRow({"cudaLaunch",
+                Table::fmt(prof.runtime.cuda_launch_time_us / 1e3, 2)});
+    api.addRow({"cudaSynchronize",
+                Table::fmt(prof.runtime.cuda_sync_time_us / 1e3, 2)});
+    api.addRow({"(GPU kernels, for reference)",
+                Table::fmt(prof.runtime.gpu_kernel_time_us / 1e3, 2)});
+    api.addRow({"kernel launches",
+                std::to_string(prof.runtime.kernel_launches)});
+    bench::emit(api, csv_name + "_api");
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::begin("Fig. 6: NMT runtime breakdown (one iteration)",
+                 "With MXNet's batch-sequential SequenceReverse, that "
+                 "operator dominates; after the parallel fix, "
+                 "fully-connected layers are the bottleneck while the "
+                 "CPU spends comparable time launching/synchronizing.");
+
+    profileOne("original (batch-sequential SequenceReverse)", false,
+               "fig06_seqrev");
+    bench::note("paper: SequenceReverse dominates the kernel bar "
+                "before the fix (~1 GB/s effective bandwidth).");
+
+    profileOne("fixed (parallel SequenceReverse, par_rev)", true,
+               "fig06_parrev");
+    bench::note("paper: after par_rev, fully_connected is the largest "
+                "kernel category; Softmax is only ~0.3% of the "
+                "runtime, contradicting Britz et al.");
+    return 0;
+}

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Fig. 18 — the same Default-vs-Echo comparison on newer GPU
+ * generations (Titan V, RTX 2080 Ti): faster parts benefit even more
+ * from the larger batch the footprint reduction enables.
+ */
+#include "bench_common.h"
+#include "train/nmt_eval.h"
+
+using namespace echo;
+using pass::PassConfig;
+
+namespace {
+
+void
+runGpu(const gpusim::GpuSpec &gpu, const std::string &csv_name)
+{
+    std::printf("--- %s (%.1f TFLOPS, %.0f GB/s, %s) ---\n",
+                gpu.name.c_str(), gpu.fp32_tflops, gpu.dram_gbps,
+                Table::fmtBytes(static_cast<uint64_t>(
+                                    gpu.mem_capacity_bytes))
+                    .c_str());
+    struct Config
+    {
+        const char *name;
+        int64_t batch;
+        PassConfig::Policy policy;
+    };
+    const Config configs[] = {
+        {"Default, B=128", 128, PassConfig::Policy::kOff},
+        {"EcoRNN, B=256", 256, PassConfig::Policy::kManual},
+    };
+    Table table({"configuration", "memory", "fits?",
+                 "throughput (samples/s)", "vs Default"});
+    double base = 0.0;
+    for (const Config &c : configs) {
+        models::NmtConfig cfg;
+        cfg.batch = c.batch;
+        train::NmtEvalOptions opts;
+        opts.gpu = gpu;
+        opts.policy = c.policy;
+        const auto prof =
+            train::profileNmtBucketed(cfg, train::iwsltBuckets(), opts);
+        if (base == 0.0)
+            base = prof.throughput;
+        table.addRow(
+            {c.name,
+             Table::fmtBytes(static_cast<uint64_t>(prof.device_bytes)),
+             prof.fits ? "yes" : "NO",
+             Table::fmt(prof.throughput, 1),
+             Table::fmt(prof.throughput / base, 2) + "x"});
+    }
+    bench::emit(table, csv_name);
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::begin("Fig. 18: GPU hardware sensitivity",
+                 "Newer GPUs benefit at least as much from the larger "
+                 "batch Echo enables.");
+    runGpu(gpusim::GpuSpec::titanXp(), "fig18_titan_xp");
+    runGpu(gpusim::GpuSpec::titanV(), "fig18_titan_v");
+    runGpu(gpusim::GpuSpec::rtx2080Ti(), "fig18_rtx2080ti");
+    bench::note("paper: the batch-256 improvement grows from 1.3x "
+                "(Titan Xp) to 1.5x (Titan V) and 1.4x (2080 Ti).");
+    return 0;
+}

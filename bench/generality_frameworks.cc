@@ -1,0 +1,74 @@
+/**
+ * @file
+ * §6.2.2 "Generality across Machine Learning Frameworks" — the paper
+ * trains the same task with TensorFlow-NMT (plain Bahdanau attention,
+ * no partial forward propagation anywhere in the TF codebase) and
+ * measures 8.4 GB / 561 samples/s, ~10 % from the MXNet baseline.
+ *
+ * Here the TF-style variant differs in its attention lowering
+ * (unnormalized Bahdanau scoring) and, like the real TF, ships no
+ * recomputation — then we show the Echo pass applies to that graph just
+ * as well, which is the paper's point: the optimization is framework-
+ * agnostic because it operates on the dataflow graph.
+ */
+#include "bench_common.h"
+#include "train/nmt_eval.h"
+
+using namespace echo;
+using pass::PassConfig;
+
+int
+main()
+{
+    bench::begin("§6.2.2: generality across frameworks",
+                 "A TensorFlow-style NMT lowering profiles ~10% from "
+                 "the MXNet-style baseline, and the Echo pass applies "
+                 "to it unchanged.");
+
+    struct Config
+    {
+        const char *name;
+        bool normalized_attention;
+        PassConfig::Policy policy;
+    };
+    const Config configs[] = {
+        {"MXNet-style (Sockeye lowering)", true,
+         PassConfig::Policy::kOff},
+        {"TensorFlow-style (plain Bahdanau)", false,
+         PassConfig::Policy::kOff},
+        {"TensorFlow-style + Echo pass", false,
+         PassConfig::Policy::kAuto},
+    };
+
+    Table table({"framework lowering", "memory (max bucket)",
+                 "throughput (samples/s)", "vs MXNet-style"});
+    int64_t base_mem = 0;
+    double base_thpt = 0.0;
+    for (const Config &c : configs) {
+        models::NmtConfig cfg;
+        cfg.batch = 128;
+        cfg.normalized_attention = c.normalized_attention;
+        train::NmtEvalOptions opts;
+        opts.policy = c.policy;
+        const auto prof =
+            train::profileNmtBucketed(cfg, train::iwsltBuckets(), opts);
+        if (base_mem == 0) {
+            base_mem = prof.device_bytes;
+            base_thpt = prof.throughput;
+        }
+        table.addRow(
+            {c.name,
+             Table::fmtBytes(static_cast<uint64_t>(prof.device_bytes)),
+             Table::fmt(prof.throughput, 1),
+             Table::fmt(static_cast<double>(prof.device_bytes) /
+                            base_mem,
+                        2) +
+                 "x mem, " +
+                 Table::fmt(prof.throughput / base_thpt, 2) + "x thpt"});
+    }
+    bench::emit(table, "generality_frameworks");
+    bench::note("paper: TF-NMT uses 8.4 GB at 561 samples/s, ~10% from "
+                "the MXNet baseline, and implements no partial forward "
+                "propagation — Echo applies to it all the same.");
+    return 0;
+}

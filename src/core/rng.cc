@@ -1,0 +1,129 @@
+#include "core/rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/logging.h"
+
+namespace echo {
+
+namespace {
+
+/** splitmix64 step, used to expand the user seed into generator state. */
+uint64_t
+splitmix64(uint64_t &x)
+{
+    x += 0x9E3779B97F4A7C15ull;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(uint64_t seed)
+{
+    uint64_t sm = seed;
+    for (auto &word : s_)
+        word = splitmix64(sm);
+}
+
+uint64_t
+Rng::next()
+{
+    const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53 random mantissa bits.
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+uint64_t
+Rng::uniformInt(uint64_t n)
+{
+    ECHO_CHECK(n > 0, "uniformInt needs a positive bound");
+    // Rejection sampling to avoid modulo bias.
+    const uint64_t limit = UINT64_MAX - UINT64_MAX % n;
+    uint64_t v = next();
+    while (v >= limit)
+        v = next();
+    return v % n;
+}
+
+double
+Rng::gaussian()
+{
+    if (have_cached_gaussian_) {
+        have_cached_gaussian_ = false;
+        return cached_gaussian_;
+    }
+    double u1 = 0.0;
+    while (u1 <= 1e-300)
+        u1 = uniform();
+    const double u2 = uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * M_PI * u2;
+    cached_gaussian_ = r * std::sin(theta);
+    have_cached_gaussian_ = true;
+    return r * std::cos(theta);
+}
+
+double
+Rng::gaussian(double mean, double stddev)
+{
+    return mean + stddev * gaussian();
+}
+
+uint64_t
+Rng::zipf(uint64_t n, double s)
+{
+    ECHO_CHECK(n > 0, "zipf needs a positive support size");
+    if (zipf_n_ != n || zipf_s_ != s) {
+        zipf_cdf_.resize(n);
+        double acc = 0.0;
+        for (uint64_t r = 0; r < n; ++r) {
+            acc += 1.0 / std::pow(static_cast<double>(r + 1), s);
+            zipf_cdf_[r] = acc;
+        }
+        for (auto &v : zipf_cdf_)
+            v /= acc;
+        zipf_n_ = n;
+        zipf_s_ = s;
+    }
+    const double u = uniform();
+    const auto it =
+        std::lower_bound(zipf_cdf_.begin(), zipf_cdf_.end(), u);
+    return static_cast<uint64_t>(it - zipf_cdf_.begin());
+}
+
+Rng
+Rng::split()
+{
+    return Rng(next());
+}
+
+} // namespace echo

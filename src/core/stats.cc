@@ -1,0 +1,73 @@
+#include "core/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace echo {
+
+void
+Summary::add(double v)
+{
+    if (count_ == 0) {
+        min_ = max_ = v;
+    } else {
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+    ++count_;
+    sum_ += v;
+    sum_sq_ += v * v;
+}
+
+double
+Summary::mean() const
+{
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double
+Summary::stddev() const
+{
+    if (count_ < 2)
+        return 0.0;
+    const double m = mean();
+    const double var = sum_sq_ / static_cast<double>(count_) - m * m;
+    return var > 0.0 ? std::sqrt(var) : 0.0;
+}
+
+double
+pearsonCorrelation(const std::vector<double> &xs,
+                   const std::vector<double> &ys)
+{
+    if (xs.size() != ys.size() || xs.size() < 2)
+        return 0.0;
+    const double n = static_cast<double>(xs.size());
+    double sx = 0, sy = 0, sxx = 0, syy = 0, sxy = 0;
+    for (size_t i = 0; i < xs.size(); ++i) {
+        sx += xs[i];
+        sy += ys[i];
+        sxx += xs[i] * xs[i];
+        syy += ys[i] * ys[i];
+        sxy += xs[i] * ys[i];
+    }
+    const double cov = sxy / n - (sx / n) * (sy / n);
+    const double vx = sxx / n - (sx / n) * (sx / n);
+    const double vy = syy / n - (sy / n) * (sy / n);
+    if (vx <= 0.0 || vy <= 0.0)
+        return 0.0;
+    return cov / std::sqrt(vx * vy);
+}
+
+double
+Ema::add(double v)
+{
+    if (empty_) {
+        value_ = v;
+        empty_ = false;
+    } else {
+        value_ = alpha_ * v + (1.0 - alpha_) * value_;
+    }
+    return value_;
+}
+
+} // namespace echo

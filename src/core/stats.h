@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Small statistics helpers shared by the evaluation harnesses: running
+ * summaries (mean/min/max), Pearson correlation (Table 2 of the paper),
+ * and an exponential moving average used by training-curve smoothing.
+ */
+#ifndef ECHO_CORE_STATS_H
+#define ECHO_CORE_STATS_H
+
+#include <cstddef>
+#include <vector>
+
+namespace echo {
+
+/** Running summary of a scalar stream. */
+class Summary
+{
+  public:
+    /** Add one observation. */
+    void add(double v);
+
+    /** Number of observations so far. */
+    size_t count() const { return count_; }
+
+    /** Arithmetic mean (0 when empty). */
+    double mean() const;
+
+    /** Population standard deviation (0 when fewer than 2 samples). */
+    double stddev() const;
+
+    double min() const { return min_; }
+    double max() const { return max_; }
+    double sum() const { return sum_; }
+
+  private:
+    size_t count_ = 0;
+    double sum_ = 0.0;
+    double sum_sq_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * Pearson correlation coefficient between two equally sized samples.
+ * Returns 0 when either sample is constant or sizes mismatch.
+ */
+double pearsonCorrelation(const std::vector<double> &xs,
+                          const std::vector<double> &ys);
+
+/** Exponential moving average with smoothing factor alpha in (0, 1]. */
+class Ema
+{
+  public:
+    explicit Ema(double alpha) : alpha_(alpha) {}
+
+    /** Fold in one observation and return the updated average. */
+    double add(double v);
+
+    /** Current value (0 before the first observation). */
+    double value() const { return value_; }
+
+    bool empty() const { return empty_; }
+
+  private:
+    double alpha_;
+    double value_ = 0.0;
+    bool empty_ = true;
+};
+
+} // namespace echo
+
+#endif // ECHO_CORE_STATS_H

@@ -1,0 +1,123 @@
+#include "core/table.h"
+
+#include <cstdio>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "core/logging.h"
+
+namespace echo {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers))
+{
+    ECHO_REQUIRE(!headers_.empty(), "a table needs at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    ECHO_REQUIRE(cells.size() == headers_.size(),
+                 "row has ", cells.size(), " cells, table has ",
+                 headers_.size(), " columns");
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+Table::toString() const
+{
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    std::ostringstream oss;
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            oss << std::left << std::setw(static_cast<int>(widths[c]))
+                << row[c];
+            oss << (c + 1 == row.size() ? "\n" : "  ");
+        }
+    };
+    emit_row(headers_);
+    for (size_t c = 0; c < headers_.size(); ++c) {
+        oss << std::string(widths[c], '-')
+            << (c + 1 == headers_.size() ? "\n" : "  ");
+    }
+    for (const auto &row : rows_)
+        emit_row(row);
+    return oss.str();
+}
+
+std::string
+Table::toCsv() const
+{
+    auto quote = [](const std::string &cell) {
+        if (cell.find_first_of(",\"\n") == std::string::npos)
+            return cell;
+        std::string out = "\"";
+        for (char ch : cell) {
+            if (ch == '"')
+                out += '"';
+            out += ch;
+        }
+        out += '"';
+        return out;
+    };
+    std::ostringstream oss;
+    for (size_t c = 0; c < headers_.size(); ++c)
+        oss << quote(headers_[c]) << (c + 1 == headers_.size() ? "\n" : ",");
+    for (const auto &row : rows_)
+        for (size_t c = 0; c < row.size(); ++c)
+            oss << quote(row[c]) << (c + 1 == row.size() ? "\n" : ",");
+    return oss.str();
+}
+
+void
+Table::print() const
+{
+    std::fputs(toString().c_str(), stdout);
+}
+
+void
+Table::writeCsv(const std::string &path) const
+{
+    std::ofstream ofs(path);
+    ECHO_REQUIRE(ofs.good(), "cannot open ", path, " for writing");
+    ofs << toCsv();
+}
+
+std::string
+Table::fmt(double v, int digits)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(digits) << v;
+    return oss.str();
+}
+
+std::string
+Table::fmtBytes(uint64_t bytes)
+{
+    const char *units[] = {"B", "KB", "MB", "GB", "TB"};
+    double v = static_cast<double>(bytes);
+    int unit = 0;
+    while (v >= 1024.0 && unit < 4) {
+        v /= 1024.0;
+        ++unit;
+    }
+    std::ostringstream oss;
+    const int digits = unit == 0 ? 0 : (v < 10 ? 2 : 1);
+    oss << std::fixed << std::setprecision(digits) << v << " "
+        << units[unit];
+    return oss.str();
+}
+
+std::string
+Table::fmtPercent(double fraction, int digits)
+{
+    return fmt(fraction * 100.0, digits) + "%";
+}
+
+} // namespace echo

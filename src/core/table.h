@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Plain-text table and CSV output used by the benchmark harnesses.
+ *
+ * Every bench binary reproduces one of the paper's tables or figures by
+ * printing rows; Table gives them a consistent, aligned format and an
+ * optional CSV mirror for plotting.
+ */
+#ifndef ECHO_CORE_TABLE_H
+#define ECHO_CORE_TABLE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace echo {
+
+/** A simple column-aligned text table with optional CSV export. */
+class Table
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append a row; must have exactly as many cells as there are headers. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render the table, column-aligned, with a header separator. */
+    std::string toString() const;
+
+    /** Render as CSV (RFC-4180-ish; cells with commas are quoted). */
+    std::string toCsv() const;
+
+    /** Print toString() to stdout. */
+    void print() const;
+
+    /** Write the CSV rendering to @p path (overwrites). */
+    void writeCsv(const std::string &path) const;
+
+    /** Number of data rows added so far. */
+    size_t numRows() const { return rows_.size(); }
+
+    /** Format a double with @p digits decimal places. */
+    static std::string fmt(double v, int digits = 2);
+
+    /** Format a byte count as a human-readable string (e.g.\ "4.3 GB"). */
+    static std::string fmtBytes(uint64_t bytes);
+
+    /** Format a fraction as a percentage string (e.g.\ "59.2%"). */
+    static std::string fmtPercent(double fraction, int digits = 1);
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace echo
+
+#endif // ECHO_CORE_TABLE_H

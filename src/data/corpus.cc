@@ -1,0 +1,42 @@
+#include "data/corpus.h"
+
+#include "core/logging.h"
+
+namespace echo::data {
+
+Corpus
+Corpus::generate(const CorpusConfig &config)
+{
+    ECHO_REQUIRE(config.num_tokens > 0, "corpus needs tokens");
+    ECHO_REQUIRE(config.vocab.numWords() > 1, "vocab too small");
+
+    Corpus corpus;
+    corpus.vocab_ = config.vocab;
+    corpus.tokens_.reserve(static_cast<size_t>(config.num_tokens));
+
+    Rng rng(config.seed);
+    const int64_t words = config.vocab.numWords();
+
+    // Deterministic successor function: an affine map over word ids.
+    // Multiplier and offset are odd constants so the map permutes ids.
+    auto successor = [words](int64_t w) {
+        return (w * 31 + 17) % words;
+    };
+
+    int64_t prev = static_cast<int64_t>(
+        rng.zipf(static_cast<uint64_t>(words), config.zipf_s));
+    for (int64_t i = 0; i < config.num_tokens; ++i) {
+        int64_t word;
+        if (i > 0 && rng.uniform() < config.structure) {
+            word = successor(prev);
+        } else {
+            word = static_cast<int64_t>(rng.zipf(
+                static_cast<uint64_t>(words), config.zipf_s));
+        }
+        corpus.tokens_.push_back(Vocab::kFirstWord + word);
+        prev = word;
+    }
+    return corpus;
+}
+
+} // namespace echo::data

@@ -1,0 +1,69 @@
+#include "data/parallel_corpus.h"
+
+#include <algorithm>
+
+#include "core/logging.h"
+
+namespace echo::data {
+
+namespace {
+
+/** Fixed word-to-word "translation" bijection into the target vocab. */
+int64_t
+translateWord(int64_t src_word_id, const Vocab &src, const Vocab &tgt)
+{
+    const int64_t w = src_word_id - Vocab::kFirstWord;
+    ECHO_CHECK(w >= 0 && w < src.numWords(), "bad source word id");
+    return Vocab::kFirstWord + (w * 13 + 5) % tgt.numWords();
+}
+
+} // namespace
+
+ParallelCorpus
+ParallelCorpus::generate(const ParallelCorpusConfig &config)
+{
+    ECHO_REQUIRE(config.num_pairs > 0 && config.min_len >= 2 &&
+                     config.max_len >= config.min_len,
+                 "bad parallel corpus config");
+
+    ParallelCorpus corpus;
+    corpus.src_vocab_ = config.src_vocab;
+    corpus.tgt_vocab_ = config.tgt_vocab;
+    corpus.pairs_.reserve(static_cast<size_t>(config.num_pairs));
+
+    Rng rng(config.seed);
+    const int64_t words = config.src_vocab.numWords();
+
+    for (int64_t p = 0; p < config.num_pairs; ++p) {
+        const int64_t len =
+            config.min_len +
+            static_cast<int64_t>(rng.uniformInt(static_cast<uint64_t>(
+                config.max_len - config.min_len + 1)));
+        SentencePair pair;
+        pair.source.reserve(static_cast<size_t>(len));
+        for (int64_t i = 0; i < len; ++i)
+            pair.source.push_back(
+                Vocab::kFirstWord +
+                static_cast<int64_t>(rng.zipf(
+                    static_cast<uint64_t>(words), config.zipf_s)));
+        pair.target = corpus.referenceTranslation(pair.source);
+        corpus.pairs_.push_back(std::move(pair));
+    }
+    return corpus;
+}
+
+std::vector<int64_t>
+ParallelCorpus::referenceTranslation(
+    const std::vector<int64_t> &source) const
+{
+    // Word-by-word mapping with adjacent-pair swaps (local reordering).
+    std::vector<int64_t> target;
+    target.reserve(source.size());
+    for (const int64_t w : source)
+        target.push_back(translateWord(w, src_vocab_, tgt_vocab_));
+    for (size_t i = 0; i + 1 < target.size(); i += 2)
+        std::swap(target[i], target[i + 1]);
+    return target;
+}
+
+} // namespace echo::data

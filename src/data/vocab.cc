@@ -1,0 +1,4 @@
+#include "data/vocab.h"
+
+// Vocab is a value type fully defined in the header; this translation
+// unit anchors the module in the build.

@@ -1,0 +1,83 @@
+#include "echo/candidate.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "core/logging.h"
+
+namespace echo::pass {
+
+int64_t
+Candidate::interiorBytes() const
+{
+    int64_t bytes = 0;
+    for (const Node *n : subgraph)
+        for (const Shape &s : n->out_shapes)
+            bytes += s.bytes();
+    return bytes;
+}
+
+int64_t
+Candidate::frontierBytes() const
+{
+    int64_t bytes = 0;
+    for (const Val &v : frontier)
+        bytes += graph::Graph::shapeOf(v).bytes();
+    return bytes;
+}
+
+Candidate
+buildCandidate(const FeatureMap &target, bool respect_gemm_boundary)
+{
+    Candidate cand;
+    cand.target = target;
+
+    Node *root = target.val.node;
+    if (root->kind != graph::NodeKind::kOp ||
+        (respect_gemm_boundary && !root->op->cheapToRecompute())) {
+        // The producing op itself cannot be replayed.
+        cand.admissible = false;
+        return cand;
+    }
+
+    // Grow the cheap region backwards from the root.  A forward op node
+    // joins the region when it is cheap; anything else (weights,
+    // placeholders, GEMM outputs) becomes frontier.
+    std::unordered_set<Node *> in_region;
+    std::unordered_set<Val, graph::ValHash> frontier_set;
+    std::vector<Node *> stack{root};
+    in_region.insert(root);
+    while (!stack.empty()) {
+        Node *n = stack.back();
+        stack.pop_back();
+        for (const Val &v : n->inputs) {
+            Node *p = v.node;
+            const bool expandable =
+                p->kind == graph::NodeKind::kOp &&
+                p->phase == graph::Phase::kForward &&
+                (!respect_gemm_boundary ||
+                 p->op->cheapToRecompute());
+            if (expandable) {
+                if (in_region.insert(p).second)
+                    stack.push_back(p);
+            } else {
+                frontier_set.insert(v);
+            }
+        }
+    }
+
+    cand.subgraph.assign(in_region.begin(), in_region.end());
+    std::sort(cand.subgraph.begin(), cand.subgraph.end(),
+              [](const Node *a, const Node *b) { return a->id < b->id; });
+    cand.frontier.assign(frontier_set.begin(), frontier_set.end());
+    std::sort(cand.frontier.begin(), cand.frontier.end(),
+              [](const Val &a, const Val &b) {
+                  if (a.node->id != b.node->id)
+                      return a.node->id < b.node->id;
+                  return a.index < b.index;
+              });
+    cand.admissible = true;
+    return cand;
+}
+
+} // namespace echo::pass

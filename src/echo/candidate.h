@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Recomputation candidates.
+ *
+ * For a feature map t, the candidate is the maximal subgraph of
+ * cheap-to-recompute forward ops that ends at t, together with its
+ * frontier — the values crossing into the subgraph, which must stay
+ * stashed.  A candidate is admissible only when the subgraph contains no
+ * compute-heavy op (GEMM class): Echo's central rule, which is what
+ * keeps the recomputation overhead at the sub-percent level the paper
+ * measures (§6.2), unlike generic sublinear checkpointing.
+ *
+ * For the paper's attention scoring function the candidate is exactly
+ * the O-shape interior (broadcast + layer norm + tanh), and the frontier
+ * is the projected query / encoder state — the small inputs §4.1 stashes.
+ */
+#ifndef ECHO_ECHO_CANDIDATE_H
+#define ECHO_ECHO_CANDIDATE_H
+
+#include <vector>
+
+#include "echo/feature_maps.h"
+
+namespace echo::pass {
+
+/** A recomputation candidate for one feature map. */
+struct Candidate
+{
+    /** The feature map this candidate eliminates from the stash. */
+    FeatureMap target;
+    /** Forward nodes to replay, in ascending id (topological) order. */
+    std::vector<Node *> subgraph;
+    /** Values crossing into the subgraph (stay stashed). */
+    std::vector<Val> frontier;
+    /** False when the region would contain a non-recomputable op. */
+    bool admissible = false;
+
+    /** Sum of interior bytes replayed (workspace while recomputing). */
+    int64_t interiorBytes() const;
+    /** Sum of frontier bytes (potential new stash cost). */
+    int64_t frontierBytes() const;
+};
+
+/**
+ * Build the candidate for @p target.
+ *
+ * @param respect_gemm_boundary when false, GEMM-class ops may be
+ *        recomputed too (the Chen-et-al ablation); candidates are then
+ *        bounded at graph inputs only.
+ */
+Candidate buildCandidate(const FeatureMap &target,
+                         bool respect_gemm_boundary = true);
+
+} // namespace echo::pass
+
+#endif // ECHO_ECHO_CANDIDATE_H

@@ -1,0 +1,73 @@
+#include "echo/cost_model.h"
+
+#include <unordered_map>
+
+#include "core/logging.h"
+
+namespace echo::pass {
+
+CandidateCost
+evaluateCandidate(const Candidate &cand,
+                  const std::vector<FeatureMap> &all_feature_maps,
+                  const SelectionState &state,
+                  const gpusim::GpuSpec &gpu)
+{
+    CandidateCost cost;
+    if (!cand.admissible)
+        return cost;
+
+    std::unordered_map<Val, const FeatureMap *, graph::ValHash> fm_index;
+    for (const FeatureMap &fm : all_feature_maps)
+        fm_index[fm.val] = &fm;
+
+    // Bytes saved: every feature map produced inside the subgraph stops
+    // being stashed across the forward/backward boundary — after the
+    // rewrite it dies at its last *forward* consumer, so it no longer
+    // occupies the pool during the backward pass (where the footprint
+    // peaks).  Values an earlier accepted candidate already recomputes
+    // are not counted again.
+    for (const Node *n : cand.subgraph) {
+        for (int i = 0; i < const_cast<Node *>(n)->numOutputs(); ++i) {
+            const Val v = const_cast<Node *>(n)->out(i);
+            auto it = fm_index.find(v);
+            if (it == fm_index.end())
+                continue;
+            if (state.recomputed.count(v))
+                continue;
+            cost.bytes_saved += it->second->bytes;
+        }
+    }
+
+    // Bytes added: frontier values that are not already kept alive into
+    // the backward pass for some other reason.  Shared frontiers are
+    // amortized across the candidates that use them.
+    for (const Val &v : cand.frontier) {
+        if (v.node->kind != graph::NodeKind::kOp)
+            continue; // weights/placeholders are resident anyway
+        if (state.stashed.count(v))
+            continue; // another candidate already stashes it
+        auto it = fm_index.find(v);
+        if (it != fm_index.end() && !state.recomputed.count(v))
+            continue; // still a live feature map on its own
+        int sharers = 1;
+        auto mit = state.frontier_multiplicity.find(v);
+        if (mit != state.frontier_multiplicity.end())
+            sharers = std::max(1, mit->second);
+        cost.bytes_added +=
+            graph::Graph::shapeOf(v).bytes() / sharers;
+    }
+
+    // Replay time: the subgraph's kernels, costed on the GPU model.
+    for (const Node *n : cand.subgraph) {
+        std::vector<Shape> in_shapes;
+        for (const Val &v : n->inputs)
+            in_shapes.push_back(graph::Graph::shapeOf(v));
+        for (const graph::KernelDesc &d :
+             n->op->kernels(in_shapes, n->out_shapes)) {
+            cost.replay_time_us += gpusim::estimateKernel(d, gpu).time_us;
+        }
+    }
+    return cost;
+}
+
+} // namespace echo::pass

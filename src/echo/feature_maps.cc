@@ -1,0 +1,58 @@
+#include "echo/feature_maps.h"
+
+#include <algorithm>
+
+#include <unordered_map>
+
+#include "core/logging.h"
+
+namespace echo::pass {
+
+std::vector<FeatureMap>
+findFeatureMaps(const std::vector<Val> &fetches)
+{
+    const std::vector<Node *> nodes = graph::reachableNodes(fetches);
+
+    std::unordered_map<Val, FeatureMap, graph::ValHash> found;
+    for (Node *n : nodes) {
+        for (const Val &v : n->inputs) {
+            if (v.node->kind != graph::NodeKind::kOp ||
+                v.node->phase != graph::Phase::kForward)
+                continue;
+            if (n->phase == graph::Phase::kBackward) {
+                FeatureMap &fm = found[v];
+                if (!fm.val.defined()) {
+                    fm.val = v;
+                    fm.bytes = graph::Graph::shapeOf(v).bytes();
+                }
+                fm.bwd_consumers.push_back(n);
+            }
+        }
+    }
+
+    // Flag feature maps that later forward nodes also consume.
+    for (Node *n : nodes) {
+        if (n->phase != graph::Phase::kForward)
+            continue;
+        for (const Val &v : n->inputs) {
+            auto it = found.find(v);
+            if (it != found.end())
+                it->second.has_fwd_consumer_after = true;
+        }
+    }
+
+    std::vector<FeatureMap> result;
+    result.reserve(found.size());
+    for (auto &[v, fm] : found)
+        result.push_back(std::move(fm));
+    // Deterministic order: by producing node id, then output index.
+    std::sort(result.begin(), result.end(),
+              [](const FeatureMap &a, const FeatureMap &b) {
+                  if (a.val.node->id != b.val.node->id)
+                      return a.val.node->id < b.val.node->id;
+                  return a.val.index < b.val.index;
+              });
+    return result;
+}
+
+} // namespace echo::pass

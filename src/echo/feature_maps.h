@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Feature-map analysis: finds every forward value the backward pass
+ * keeps alive (the paper's "reserved space").  These are the
+ * candidates the Echo recomputation pass considers dropping.
+ */
+#ifndef ECHO_ECHO_FEATURE_MAPS_H
+#define ECHO_ECHO_FEATURE_MAPS_H
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace echo::pass {
+
+using graph::Node;
+using graph::Val;
+
+/** One stashed forward value and who needs it in the backward pass. */
+struct FeatureMap
+{
+    Val val;
+    int64_t bytes = 0;
+    /** Backward nodes reading this value. */
+    std::vector<Node *> bwd_consumers;
+    /** True when some later forward node also reads it (its lifetime
+     *  extends into the forward pass regardless of stashing). */
+    bool has_fwd_consumer_after = false;
+};
+
+/** Find all feature maps of the training graph reached by @p fetches. */
+std::vector<FeatureMap>
+findFeatureMaps(const std::vector<Val> &fetches);
+
+} // namespace echo::pass
+
+#endif // ECHO_ECHO_FEATURE_MAPS_H

@@ -1,0 +1,177 @@
+#include "echo/fused_region.h"
+
+#include <unordered_map>
+
+#include "core/logging.h"
+
+namespace echo::pass {
+
+namespace {
+
+using graph::KernelDesc;
+using graph::Node;
+using graph::Op;
+using graph::Val;
+using graph::ValHash;
+
+class FusedRegionOp : public Op
+{
+  public:
+    explicit FusedRegionOp(FusedRegionSpec spec)
+        : spec_(std::move(spec))
+    {
+        ECHO_REQUIRE(!spec_.nodes.empty() && !spec_.exits.empty(),
+                     "fused region needs nodes and exits");
+        // Pre-resolve every template input to a frontier index or an
+        // internal (node, output) pair, and cache kernel statistics.
+        std::unordered_map<Val, int, ValHash> frontier_index;
+        for (size_t i = 0; i < spec_.frontier.size(); ++i)
+            frontier_index[spec_.frontier[i]] =
+                static_cast<int>(i);
+        std::unordered_map<const Node *, int> node_index;
+        for (size_t i = 0; i < spec_.nodes.size(); ++i)
+            node_index[spec_.nodes[i]] = static_cast<int>(i);
+
+        for (const Node *n : spec_.nodes) {
+            for (const Val &v : n->inputs) {
+                InputRef ref;
+                auto fit = frontier_index.find(v);
+                if (fit != frontier_index.end()) {
+                    ref.frontier_slot = fit->second;
+                } else {
+                    auto nit = node_index.find(v.node);
+                    ECHO_CHECK(nit != node_index.end(),
+                               "fused-region input neither frontier "
+                               "nor internal");
+                    ref.internal_node = nit->second;
+                    ref.output_index = v.index;
+                }
+                input_refs_.push_back(ref);
+            }
+            input_ref_offsets_.push_back(
+                static_cast<int>(input_refs_.size()));
+        }
+
+        for (const Val &v : spec_.exits) {
+            auto nit = node_index.find(v.node);
+            ECHO_CHECK(nit != node_index.end(),
+                       "fused-region exit not internal");
+            exit_refs_.push_back({nit->second, v.index});
+            out_shapes_.push_back(graph::Graph::shapeOf(v));
+        }
+
+        // Aggregate flops across the template nodes' kernels.
+        for (Node *n : spec_.nodes) {
+            std::vector<Shape> in_shapes;
+            for (const Val &v : n->inputs)
+                in_shapes.push_back(graph::Graph::shapeOf(v));
+            for (const KernelDesc &d :
+                 n->op->kernels(in_shapes, n->out_shapes))
+                total_flops_ += d.flops * d.launches;
+        }
+        for (const Val &v : spec_.frontier)
+            frontier_bytes_ += graph::Graph::shapeOf(v).bytes();
+        for (const Shape &s : out_shapes_)
+            exit_bytes_ += s.bytes();
+    }
+
+    std::string name() const override { return "fused_recompute"; }
+
+    bool cheapToRecompute() const override { return false; }
+
+    std::vector<Shape>
+    inferShapes(const std::vector<Shape> &in) const override
+    {
+        ECHO_REQUIRE(in.size() == spec_.frontier.size(),
+                     "fused region input arity mismatch");
+        return out_shapes_;
+    }
+
+    void
+    forward(const std::vector<Tensor> &in,
+            std::vector<Tensor> &out) const override
+    {
+        // Run each template op, resolving inputs from the frontier or
+        // from earlier internal results; identical math in identical
+        // order to the unfused replay.
+        std::vector<std::vector<Tensor>> internal(spec_.nodes.size());
+        int ref_cursor = 0;
+        for (size_t i = 0; i < spec_.nodes.size(); ++i) {
+            const Node *n = spec_.nodes[i];
+            std::vector<Tensor> inputs;
+            inputs.reserve(n->inputs.size());
+            const int end = input_ref_offsets_[i];
+            for (; ref_cursor < end; ++ref_cursor) {
+                const InputRef &ref = input_refs_[static_cast<size_t>(
+                    ref_cursor)];
+                if (ref.frontier_slot >= 0) {
+                    inputs.push_back(
+                        in[static_cast<size_t>(ref.frontier_slot)]);
+                } else {
+                    inputs.push_back(
+                        internal[static_cast<size_t>(
+                            ref.internal_node)]
+                                [static_cast<size_t>(
+                                    ref.output_index)]);
+                }
+            }
+            std::vector<Tensor> outputs(
+                static_cast<size_t>(n->numOutputs()));
+            n->op->forward(inputs, outputs);
+            internal[i] = std::move(outputs);
+        }
+        for (size_t e = 0; e < exit_refs_.size(); ++e) {
+            const auto &[node_idx, out_idx] = exit_refs_[e];
+            out[e] = internal[static_cast<size_t>(node_idx)]
+                             [static_cast<size_t>(out_idx)];
+        }
+    }
+
+    std::vector<Val>
+    buildGradient(graph::GradContext &) const override
+    {
+        ECHO_PANIC("fused_recompute is never differentiated");
+    }
+
+    std::vector<KernelDesc>
+    kernels(const std::vector<Shape> &,
+            const std::vector<Shape> &) const override
+    {
+        // One generated kernel: reads the frontier, writes the exits;
+        // interior temporaries stay in registers/shared memory.
+        KernelDesc k;
+        k.category = "recompute_fused";
+        k.flops = total_flops_;
+        k.bytes_read = frontier_bytes_;
+        k.bytes_written = exit_bytes_;
+        return {k};
+    }
+
+  private:
+    struct InputRef
+    {
+        int frontier_slot = -1;
+        int internal_node = -1;
+        int output_index = 0;
+    };
+
+    FusedRegionSpec spec_;
+    std::vector<InputRef> input_refs_;
+    /** input_refs_ range end per template node. */
+    std::vector<int> input_ref_offsets_;
+    std::vector<std::pair<int, int>> exit_refs_;
+    std::vector<Shape> out_shapes_;
+    int64_t total_flops_ = 0;
+    int64_t frontier_bytes_ = 0;
+    int64_t exit_bytes_ = 0;
+};
+
+} // namespace
+
+graph::OpPtr
+makeFusedRegionOp(FusedRegionSpec spec)
+{
+    return std::make_shared<FusedRegionOp>(std::move(spec));
+}
+
+} // namespace echo::pass

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Fused recomputation regions.
+ *
+ * Echo is compiler-based: the recompute subgraph it splices into the
+ * backward pass is generated code, so the element-wise replay chain
+ * (broadcast + layer norm + tanh ...) can be emitted as ONE fused
+ * kernel instead of one kernel per op.  Fusion changes no numerics —
+ * the same ops run in the same order — but the fused kernel only reads
+ * the region's frontier and only writes its exits (the values backward
+ * kernels consume); interior temporaries live in registers.  This is
+ * what keeps the replay overhead at the low single-digit percentages
+ * the paper reports.
+ */
+#ifndef ECHO_ECHO_FUSED_REGION_H
+#define ECHO_ECHO_FUSED_REGION_H
+
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace echo::pass {
+
+/**
+ * Specification of a fused region: a topologically ordered list of
+ * template nodes (from the forward graph), the frontier values feeding
+ * them, and the exit values the fused node must materialize.
+ */
+struct FusedRegionSpec
+{
+    /** Template nodes, ascending id (topological) order. */
+    std::vector<graph::Node *> nodes;
+    /** Values read from outside the region (op inputs, in order). */
+    std::vector<graph::Val> frontier;
+    /** Region-internal values to materialize (op outputs, in order). */
+    std::vector<graph::Val> exits;
+};
+
+/**
+ * Create the fused-replay op for @p spec.  Applying it to the frontier
+ * values yields the exit values, computed by running the template
+ * nodes' ops internally.
+ */
+graph::OpPtr makeFusedRegionOp(FusedRegionSpec spec);
+
+} // namespace echo::pass
+
+#endif // ECHO_ECHO_FUSED_REGION_H

@@ -1,0 +1,31 @@
+#include "echo/verify.h"
+
+#include <cmath>
+
+#include "core/logging.h"
+
+namespace echo::pass {
+
+VerifyResult
+compareFetches(const std::vector<Tensor> &a, const std::vector<Tensor> &b)
+{
+    VerifyResult res;
+    if (a.size() != b.size()) {
+        res.shapes_match = false;
+        return res;
+    }
+    for (size_t i = 0; i < a.size(); ++i) {
+        if (a[i].shape() != b[i].shape()) {
+            res.shapes_match = false;
+            return res;
+        }
+        for (int64_t j = 0; j < a[i].numel(); ++j) {
+            const double d = std::abs(static_cast<double>(a[i].at(j)) -
+                                      static_cast<double>(b[i].at(j)));
+            res.max_abs_diff = std::max(res.max_abs_diff, d);
+        }
+    }
+    return res;
+}
+
+} // namespace echo::pass

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Gradient-equivalence verification for the Echo pass.
+ *
+ * The rewrite replays the exact same ops on the exact same inputs, so
+ * gradients must match bit-for-bit on identical input data.  The
+ * verifier runs a training iteration on two graphs (typically one with
+ * the pass applied and one without) built from the same model with the
+ * same seeds, and reports the maximum absolute difference across all
+ * fetched values.
+ */
+#ifndef ECHO_ECHO_VERIFY_H
+#define ECHO_ECHO_VERIFY_H
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace echo::pass {
+
+/** Outcome of comparing two fetch sets. */
+struct VerifyResult
+{
+    double max_abs_diff = 0.0;
+    bool shapes_match = true;
+
+    bool identical() const { return shapes_match && max_abs_diff == 0.0; }
+    bool withinTolerance(double tol) const
+    {
+        return shapes_match && max_abs_diff <= tol;
+    }
+};
+
+/** Element-wise comparison of two equally long fetch lists. */
+VerifyResult compareFetches(const std::vector<Tensor> &a,
+                            const std::vector<Tensor> &b);
+
+} // namespace echo::pass
+
+#endif // ECHO_ECHO_VERIFY_H

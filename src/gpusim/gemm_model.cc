@@ -1,0 +1,98 @@
+#include "gpusim/gemm_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/logging.h"
+
+namespace echo::gpusim {
+
+namespace {
+
+// Tile geometry of the modelled sgemm kernel family.
+constexpr double kTileM = 128.0;
+constexpr double kTileN = 64.0;
+// Fraction of peak a well-shaped sgemm achieves.
+constexpr double kBaseEff = 0.85;
+// Row-underutilization decay: alpha(k) = kAlpha0 * (kAlphaK / k)^kAlphaP,
+// calibrated against the paper's Fig. 9 (LSTM ~2x, GRU ~1.3x).
+constexpr double kAlpha0 = 1.45;
+constexpr double kAlphaK = 512.0;
+constexpr double kAlphaP = 1.4;
+constexpr double kAlphaMin = 0.25;
+constexpr double kAlphaMax = 1.6;
+// Occupancy model: even small grids keep part of the machine busy.
+constexpr double kOccFloor = 0.7;
+// Efficiency floor (even pathological shapes stream some useful work).
+constexpr double kEffFloor = 0.08;
+
+double
+clamp(double v, double lo, double hi)
+{
+    return std::min(hi, std::max(lo, v));
+}
+
+} // namespace
+
+GemmCost
+estimateGemm(const GemmGeometry &g, const GpuSpec &gpu)
+{
+    ECHO_REQUIRE(g.m > 0 && g.n > 0 && g.k > 0,
+                 "GEMM geometry must be positive");
+
+    const double m = static_cast<double>(g.m);
+    const double n = static_cast<double>(g.n);
+    const double k = static_cast<double>(g.k);
+
+    // Partial-tile utilization.  The +16 softens the penalty for tiny
+    // extents (the hardware still fills quads/warps partially).
+    const double m_frac = std::min(1.0, (m + 16.0) / (kTileM + 16.0));
+    const double n_frac = std::min(1.0, (n + 16.0) / (kTileN + 16.0));
+    const double alpha =
+        clamp(kAlpha0 * std::pow(kAlphaK / k, kAlphaP), kAlphaMin,
+              kAlphaMax);
+    const double eff_m = std::pow(m_frac, alpha);
+    const double eff_n = std::pow(n_frac, 0.5 * alpha);
+
+    // Grid occupancy with wave quantization: the grid executes in
+    // waves of sm_count blocks; a partially filled last wave leaves
+    // SMs idle, which is why growing the batch keeps improving GEMM
+    // efficiency even past one full wave (the Fig. 4(b) batch-scaling
+    // behaviour).
+    const double blocks =
+        std::ceil(m / kTileM) * std::ceil(n / kTileN);
+    const double waves =
+        std::ceil(blocks / static_cast<double>(gpu.sm_count));
+    const double occ =
+        blocks / (waves * static_cast<double>(gpu.sm_count));
+    const double eff_occ = kOccFloor + (1.0 - kOccFloor) * occ;
+
+    GemmCost cost;
+    cost.efficiency =
+        std::max(kEffFloor, kBaseEff * eff_m * eff_n * eff_occ);
+
+    const double flops = 2.0 * m * n * k;
+    const double compute_time_us =
+        flops / (gpu.fp32_tflops * 1e12 * cost.efficiency) * 1e6;
+
+    // DRAM traffic: compulsory operand/result traffic, inflated by
+    // panel reloads when the kernel runs inefficiently (poor reuse and
+    // poor cache behaviour go together on these skewed shapes).
+    const double compulsory =
+        (m * k + k * n + 2.0 * m * n) * 4.0;
+    const double reload = 1.0 + 0.5 * (1.0 - cost.efficiency);
+    cost.dram_bytes = static_cast<int64_t>(compulsory * reload);
+    const double mem_time_us =
+        static_cast<double>(cost.dram_bytes) /
+        (gpu.dram_gbps * 1e9) * 1e6;
+
+    cost.time_us = std::max(compute_time_us, mem_time_us) +
+                   gpu.kernel_overhead_us;
+    // Empirical mapping from achieved efficiency to L2 hit rate,
+    // matching the Cache bars of Fig. 9 (better-shaped call -> better
+    // cache utilization).
+    cost.l2_hit_rate = clamp(0.35 + 0.55 * cost.efficiency, 0.0, 0.95);
+    return cost;
+}
+
+} // namespace echo::gpusim

@@ -1,0 +1,59 @@
+#include "gpusim/gpu_spec.h"
+
+namespace echo::gpusim {
+
+GpuSpec
+GpuSpec::titanXp()
+{
+    GpuSpec s;
+    s.name = "Titan Xp";
+    s.fp32_tflops = 12.15;
+    s.dram_gbps = 547.0;
+    s.l2_bytes = 3ll << 20;
+    s.sm_count = 30;
+    s.mem_capacity_bytes = 12ll << 30;
+    s.launch_overhead_us = 2.5;
+    s.kernel_overhead_us = 1.8;
+    s.sync_overhead_us = 8.0;
+    s.idle_power_w = 60.0;
+    s.max_power_w = 250.0;
+    return s;
+}
+
+GpuSpec
+GpuSpec::titanV()
+{
+    GpuSpec s;
+    s.name = "Titan V";
+    s.fp32_tflops = 14.9;
+    s.dram_gbps = 653.0;
+    s.l2_bytes = 4608ll << 10;
+    s.sm_count = 80;
+    s.mem_capacity_bytes = 12ll << 30;
+    s.launch_overhead_us = 2.5;
+    s.kernel_overhead_us = 1.5;
+    s.sync_overhead_us = 8.0;
+    s.idle_power_w = 60.0;
+    s.max_power_w = 250.0;
+    return s;
+}
+
+GpuSpec
+GpuSpec::rtx2080Ti()
+{
+    GpuSpec s;
+    s.name = "RTX 2080 Ti";
+    s.fp32_tflops = 13.45;
+    s.dram_gbps = 616.0;
+    s.l2_bytes = 5632ll << 10;
+    s.sm_count = 68;
+    s.mem_capacity_bytes = 11ll << 30;
+    s.launch_overhead_us = 2.5;
+    s.kernel_overhead_us = 1.6;
+    s.sync_overhead_us = 8.0;
+    s.idle_power_w = 55.0;
+    s.max_power_w = 250.0;
+    return s;
+}
+
+} // namespace echo::gpusim

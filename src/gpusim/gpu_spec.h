@@ -1,0 +1,52 @@
+/**
+ * @file
+ * GPU hardware descriptions for the analytical performance model.
+ *
+ * Presets match the paper's three evaluation GPUs (Titan Xp / Titan V /
+ * RTX 2080 Ti).  The numbers are public datasheet values; behavioural
+ * constants (launch overhead, achievable-fraction) are the usual
+ * rule-of-thumb values for CUDA devices of those generations and are
+ * calibrated so that the paper's result *shapes* reproduce (see
+ * DESIGN.md "Numbers we calibrate to").
+ */
+#ifndef ECHO_GPUSIM_GPU_SPEC_H
+#define ECHO_GPUSIM_GPU_SPEC_H
+
+#include <cstdint>
+#include <string>
+
+namespace echo::gpusim {
+
+/** Static description of one GPU model. */
+struct GpuSpec
+{
+    std::string name;
+    /** Peak FP32 throughput in TFLOP/s. */
+    double fp32_tflops = 0.0;
+    /** Peak DRAM bandwidth in GB/s. */
+    double dram_gbps = 0.0;
+    /** L2 cache capacity in bytes. */
+    int64_t l2_bytes = 0;
+    /** Number of streaming multiprocessors. */
+    int sm_count = 0;
+    /** Device memory capacity in bytes. */
+    int64_t mem_capacity_bytes = 0;
+    /** CPU-side cost of one kernel launch (cudaLaunch), microseconds. */
+    double launch_overhead_us = 0.0;
+    /** Fixed GPU-side kernel startup latency, microseconds. */
+    double kernel_overhead_us = 0.0;
+    /** Cost of one synchronization call, microseconds. */
+    double sync_overhead_us = 0.0;
+    /** Idle and maximum board power, watts. */
+    double idle_power_w = 0.0;
+    double max_power_w = 0.0;
+
+    /** Paper's evaluation GPUs. */
+    static GpuSpec titanXp();
+    static GpuSpec titanV();
+    static GpuSpec rtx2080Ti();
+};
+
+} // namespace echo::gpusim
+
+#endif // ECHO_GPUSIM_GPU_SPEC_H

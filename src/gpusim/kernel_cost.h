@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Per-kernel GPU cost model: maps an op's KernelDesc to execution time,
+ * DRAM traffic, and L2 behaviour on a given GpuSpec.
+ *
+ * GEMM-class kernels go through the layout-sensitive GEMM model;
+ * everything else is bandwidth-bound with the usual achievable-fraction,
+ * except uncoalesced kernels (the paper's original SequenceReverse),
+ * which see a tiny fraction of peak bandwidth.
+ */
+#ifndef ECHO_GPUSIM_KERNEL_COST_H
+#define ECHO_GPUSIM_KERNEL_COST_H
+
+#include "gpusim/gemm_model.h"
+#include "graph/op.h"
+
+namespace echo::gpusim {
+
+/** Modelled cost of one KernelDesc (all launches it stands for). */
+struct KernelCost
+{
+    /** Total GPU time across the descriptor's launches, microseconds. */
+    double time_us = 0.0;
+    /** Number of kernel launches. */
+    int launches = 0;
+    /** Total DRAM traffic, bytes. */
+    int64_t dram_bytes = 0;
+    /** L2 hit rate (informational; GEMM model output). */
+    double l2_hit_rate = 0.0;
+    /** Achieved fraction of the bound resource (for the power model). */
+    double utilization = 0.0;
+};
+
+/** Fraction of peak DRAM bandwidth a coalesced kernel achieves. */
+inline constexpr double kCoalescedBwFraction = 0.75;
+
+/**
+ * Fraction of peak bandwidth for the batch-sequential SequenceReverse:
+ * the paper measures ~1 GB/s read on a 547 GB/s part (§5.1).
+ */
+inline constexpr double kUncoalescedBwFraction = 0.002;
+
+/**
+ * Cost one kernel descriptor on @p gpu.
+ *
+ * @param input_cache_fraction fraction of the kernel's input bytes that
+ *        are L2-resident because their producer ran only a few kernels
+ *        earlier (the producer-consumer locality the Echo pass's
+ *        recompute regions create: replayed values are consumed
+ *        immediately, while legacy feature maps return from DRAM after
+ *        the whole forward pass).  Cached reads cost ~15% of a DRAM
+ *        read and do not count as DRAM transactions.  Applies to
+ *        bandwidth-bound kernels only; GEMMs stream their operands.
+ */
+KernelCost estimateKernel(const graph::KernelDesc &desc,
+                          const GpuSpec &gpu,
+                          double input_cache_fraction = 0.0);
+
+/** Relative cost of an L2 hit versus a DRAM access. */
+inline constexpr double kL2HitCostFraction = 0.15;
+
+/** Bytes a launch must move to reach half of peak DRAM bandwidth. */
+inline constexpr double kLatencyRampBytes = 1.0 * 1024 * 1024;
+
+} // namespace echo::gpusim
+
+#endif // ECHO_GPUSIM_KERNEL_COST_H

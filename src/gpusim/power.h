@@ -1,0 +1,37 @@
+/**
+ * @file
+ * GPU power/energy model (the analogue of the paper's nvidia-smi power
+ * sampling, §6.2.3).
+ *
+ * Board power is modelled as idle power plus a dynamic component that
+ * scales with the time-averaged hardware utilization of the running
+ * kernels.  Energy is power integrated over training time — so, as in
+ * the paper, configurations with similar power draw but shorter training
+ * time win proportionally on energy.
+ */
+#ifndef ECHO_GPUSIM_POWER_H
+#define ECHO_GPUSIM_POWER_H
+
+#include "gpusim/timeline.h"
+
+namespace echo::gpusim {
+
+/** Power/energy estimate for a training run. */
+struct PowerEstimate
+{
+    /** Average board power, watts. */
+    double avg_power_w = 0.0;
+    /** Energy for the given training duration, joules. */
+    double energy_j = 0.0;
+};
+
+/**
+ * Estimate power from an iteration profile, and energy for
+ * @p training_seconds of steady-state training at that profile.
+ */
+PowerEstimate estimatePower(const ProfileReport &rep, const GpuSpec &gpu,
+                            double training_seconds);
+
+} // namespace echo::gpusim
+
+#endif // ECHO_GPUSIM_POWER_H

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Whole-iteration GPU simulation: walks a schedule, costs every kernel,
+ * and models the CPU-side CUDA API activity (cudaLaunch / cudaSync) that
+ * the paper's Fig. 6/7 profile with nvprof.
+ *
+ * Wall-clock model: kernel launches are serialized on the CPU at
+ * launch_overhead_us apiece, and the GPU can only run kernels as fast as
+ * they are launched — so each kernel contributes
+ * max(kernel_time, launch_overhead) to the iteration, which is exactly
+ * the "tiny kernels are launch-bound" behaviour the paper identifies in
+ * MXNet's Default LSTM implementation.
+ */
+#ifndef ECHO_GPUSIM_TIMELINE_H
+#define ECHO_GPUSIM_TIMELINE_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "gpusim/kernel_cost.h"
+#include "graph/graph.h"
+
+namespace echo::gpusim {
+
+/** Profile of one simulated training iteration. */
+struct ProfileReport
+{
+    /** Sum of GPU kernel execution time, microseconds. */
+    double gpu_kernel_time_us = 0.0;
+    /** CPU time spent in cudaLaunch calls. */
+    double cuda_launch_time_us = 0.0;
+    /** CPU time spent waiting in synchronization calls. */
+    double cuda_sync_time_us = 0.0;
+    /** Modelled wall-clock time of the iteration. */
+    double wall_time_us = 0.0;
+    /** Total kernel launches. */
+    int64_t kernel_launches = 0;
+    /** Total DRAM traffic (bytes) and 32-byte transactions. */
+    int64_t dram_bytes = 0;
+    int64_t dram_transactions = 0;
+    /** Kernel time split by kernel category ("fully_connected", ...). */
+    std::map<std::string, double> kernel_time_by_category;
+    /** Kernel time split by producing layer tag. */
+    std::map<std::string, double> kernel_time_by_layer;
+    /** Kernel time split by node phase (fwd / bwd / recompute). */
+    std::map<std::string, double> kernel_time_by_phase;
+    /** Wall time (launch-gated) split by node phase. */
+    std::map<std::string, double> wall_time_by_phase;
+    /** Time-weighted average hardware utilization (power model input). */
+    double avg_utilization = 0.0;
+
+    /** Throughput for @p batch samples per iteration (samples/s). */
+    double throughput(int64_t batch) const;
+};
+
+/**
+ * Simulate one iteration executing everything @p fetches needs.
+ * Does not touch tensor data — shapes and kernel descriptors only.
+ */
+ProfileReport simulateRun(const std::vector<graph::Val> &fetches,
+                          const GpuSpec &gpu);
+
+} // namespace echo::gpusim
+
+#endif // ECHO_GPUSIM_TIMELINE_H

@@ -1,0 +1,108 @@
+#include "graph/autodiff.h"
+
+#include <algorithm>
+
+#include "core/logging.h"
+#include "graph/ops/oplib.h"
+
+namespace echo::graph {
+
+GradientResult
+backward(Graph &graph, const Val &loss, const std::vector<Val> &wrt)
+{
+    ECHO_REQUIRE(loss.defined() &&
+                     Graph::shapeOf(loss).numel() == 1,
+                 "backward needs a scalar loss");
+
+    const std::vector<Node *> order = reachableNodes({loss});
+
+    // Running gradient per value.  Accumulation is EAGER: the moment a
+    // second contribution appears, an add node folds it into the running
+    // gradient (MXNet's AddTo semantics).  Lazy accumulation would keep
+    // every per-consumer contribution alive until the producer is
+    // visited — O(T) simultaneously live gradient buffers on recurrent
+    // graphs, which would dwarf the feature maps the Echo pass targets.
+    std::unordered_map<Val, Val, ValHash> running_grad;
+
+    const Phase saved_phase = graph.phase();
+    graph.setPhase(Phase::kBackward);
+
+    auto add_contribution = [&](const Val &v, const Val &g) {
+        auto it = running_grad.find(v);
+        if (it == running_grad.end()) {
+            running_grad.emplace(v, g);
+        } else {
+            it->second = graph.apply1(oplib::add(), {it->second, g},
+                                      "grad_acc");
+        }
+    };
+
+    {
+        TagScope tag(graph, loss.node->layer_tag);
+        const Val seed = graph.apply1(
+            oplib::constant(Graph::shapeOf(loss), 1.0f), {},
+            "grad_seed");
+        add_contribution(loss, seed);
+    }
+
+    GradientResult result;
+
+    auto summed_grad = [&](const Val &v) -> Val {
+        auto it = running_grad.find(v);
+        if (it == running_grad.end())
+            return Val{};
+        result.all_grads[v] = it->second;
+        return it->second;
+    };
+
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+        Node *node = *it;
+        if (node->kind != NodeKind::kOp)
+            continue;
+
+        TagScope tag(graph, node->layer_tag);
+        graph.setTimeStep(node->time_step);
+
+        GradContext ctx;
+        ctx.graph = &graph;
+        ctx.node = node;
+        bool any = false;
+        for (int i = 0; i < node->numOutputs(); ++i) {
+            const Val g = summed_grad(node->out(i));
+            ctx.out_grads.push_back(g);
+            any = any || g.defined();
+        }
+        if (!any)
+            continue;
+
+        const std::vector<Val> in_grads =
+            node->op->buildGradient(ctx);
+        ECHO_CHECK(in_grads.size() == node->inputs.size(), "op ",
+                   node->op->name(), " returned ", in_grads.size(),
+                   " input grads for ", node->inputs.size(),
+                   " inputs");
+        for (size_t i = 0; i < in_grads.size(); ++i)
+            if (in_grads[i].defined())
+                add_contribution(node->inputs[i], in_grads[i]);
+    }
+    graph.setTimeStep(-1);
+
+    // Finalize weight gradients (zero constants for unused weights so
+    // the optimizer sees a gradient for every parameter).
+    for (const Val &w : wrt) {
+        Val g = summed_grad(w);
+        if (!g.defined()) {
+            TagScope tag(graph, w.node->layer_tag);
+            g = graph.apply1(
+                oplib::constant(Graph::shapeOf(w), 0.0f), {},
+                "zero_grad");
+            result.all_grads[w] = g;
+        }
+        result.weight_grads.push_back(g);
+    }
+
+    graph.setPhase(saved_phase);
+    return result;
+}
+
+} // namespace echo::graph

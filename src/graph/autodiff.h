@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Reverse-mode automatic differentiation that *extends the graph*.
+ *
+ * backward() walks the forward graph in reverse topological order from a
+ * scalar loss, asking each op to append its gradient subgraph.  The
+ * resulting backward nodes reference forward outputs directly; every such
+ * cross-phase edge is a feature map in the paper's terminology ("reserved
+ * space" kept alive from the forward into the backward pass), which is
+ * exactly the structure the Echo recomputation pass rewrites.
+ */
+#ifndef ECHO_GRAPH_AUTODIFF_H
+#define ECHO_GRAPH_AUTODIFF_H
+
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace echo::graph {
+
+/** Result of differentiating a graph. */
+struct GradientResult
+{
+    /** Gradient value for each requested weight (same order). */
+    std::vector<Val> weight_grads;
+    /** Gradient of every value that received one. */
+    std::unordered_map<Val, Val, ValHash> all_grads;
+};
+
+/**
+ * Differentiate @p loss (a scalar value) with respect to @p wrt.
+ *
+ * Appends backward-phase nodes to @p graph and returns the gradient
+ * values.  Weights in @p wrt that the loss does not depend on receive an
+ * explicit zero-constant gradient so optimizers can treat the result
+ * uniformly.
+ */
+GradientResult backward(Graph &graph, const Val &loss,
+                        const std::vector<Val> &wrt);
+
+} // namespace echo::graph
+
+#endif // ECHO_GRAPH_AUTODIFF_H

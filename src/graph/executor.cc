@@ -1,0 +1,95 @@
+#include "graph/executor.h"
+
+#include "core/logging.h"
+
+namespace echo::graph {
+
+Executor::Executor(std::vector<Val> fetches)
+    : fetches_(std::move(fetches)), schedule_(buildSchedule(fetches_))
+{
+    for (const Node *n : schedule_)
+        use_counts_[n] = 0;
+    for (const Node *n : schedule_)
+        for (const Val &v : n->inputs)
+            ++use_counts_[v.node];
+    for (const Val &v : fetches_)
+        ++use_counts_[v.node];
+}
+
+std::vector<Tensor>
+Executor::run(const FeedDict &feed) const
+{
+    // Per-node output tensors, plus the number of uses still pending so
+    // buffers can be dropped as soon as they are dead.
+    std::unordered_map<const Node *, std::vector<Tensor>> values;
+    std::unordered_map<const Node *, int> remaining = use_counts_;
+
+    auto release_use = [&](const Node *n) {
+        auto it = remaining.find(n);
+        ECHO_CHECK(it != remaining.end() && it->second > 0,
+                   "use-count underflow on node #", n->id);
+        if (--it->second == 0)
+            values.erase(n);
+    };
+
+    for (Node *n : schedule_) {
+        switch (n->kind) {
+          case NodeKind::kPlaceholder:
+          case NodeKind::kWeight: {
+            auto it = feed.find(n);
+            ECHO_REQUIRE(it != feed.end(), "no feed for ",
+                         (n->kind == NodeKind::kWeight ? "weight "
+                                                       : "placeholder "),
+                         n->name);
+            ECHO_REQUIRE(it->second.shape() == n->out_shapes[0],
+                         "feed for ", n->name, " has shape ",
+                         it->second.shape().toString(), ", expected ",
+                         n->out_shapes[0].toString());
+            values[n] = {it->second};
+            break;
+          }
+          case NodeKind::kOp: {
+            std::vector<Tensor> inputs;
+            inputs.reserve(n->inputs.size());
+            for (const Val &v : n->inputs) {
+                auto it = values.find(v.node);
+                ECHO_CHECK(it != values.end(),
+                           "input of node #", n->id,
+                           " freed too early");
+                inputs.push_back(
+                    it->second[static_cast<size_t>(v.index)]);
+            }
+            std::vector<Tensor> outputs(
+                static_cast<size_t>(n->numOutputs()));
+            n->op->forward(inputs, outputs);
+            for (int i = 0; i < n->numOutputs(); ++i) {
+                ECHO_CHECK(
+                    outputs[static_cast<size_t>(i)].defined() &&
+                        outputs[static_cast<size_t>(i)].shape() ==
+                            n->out_shapes[static_cast<size_t>(i)],
+                    "op ", n->op->name(), " produced output ", i,
+                    " with wrong shape");
+            }
+            values[n] = std::move(outputs);
+            for (const Val &v : n->inputs)
+                release_use(v.node);
+            break;
+          }
+        }
+        // Nodes nothing consumes (and nobody fetches) can be dropped
+        // immediately.
+        if (remaining.at(n) == 0)
+            values.erase(n);
+    }
+
+    std::vector<Tensor> out;
+    out.reserve(fetches_.size());
+    for (const Val &v : fetches_) {
+        auto it = values.find(v.node);
+        ECHO_CHECK(it != values.end(), "fetch value missing");
+        out.push_back(it->second[static_cast<size_t>(v.index)]);
+    }
+    return out;
+}
+
+} // namespace echo::graph

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Numeric executor: runs a graph's schedule on CPU tensors.
+ *
+ * Used by the training loops, the examples, and every numerical test.
+ * Timing and memory are NOT measured here — they come from the
+ * analytical GPU model (src/gpusim) and the memory planner (src/memory)
+ * walking the same schedule.
+ */
+#ifndef ECHO_GRAPH_EXECUTOR_H
+#define ECHO_GRAPH_EXECUTOR_H
+
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/schedule.h"
+
+namespace echo::graph {
+
+/** Values fed into a run: one tensor per placeholder / weight node. */
+using FeedDict = std::unordered_map<const Node *, Tensor>;
+
+/** Executes a fixed set of fetches over a prebuilt schedule. */
+class Executor
+{
+  public:
+    /** Prepare to repeatedly fetch @p fetches. */
+    explicit Executor(std::vector<Val> fetches);
+
+    /**
+     * Run the schedule.  @p feed must contain a tensor for every
+     * placeholder and weight in the fetched subgraph.  Intermediate
+     * tensors are freed as soon as their last consumer has run.
+     */
+    std::vector<Tensor> run(const FeedDict &feed) const;
+
+    /** The schedule this executor runs (for inspection/tests). */
+    const std::vector<Node *> &schedule() const { return schedule_; }
+
+  private:
+    std::vector<Val> fetches_;
+    std::vector<Node *> schedule_;
+    /** Remaining-use counts per node (consumers + fetch references). */
+    std::unordered_map<const Node *, int> use_counts_;
+};
+
+} // namespace echo::graph
+
+#endif // ECHO_GRAPH_EXECUTOR_H

@@ -1,0 +1,246 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/logging.h"
+
+namespace echo::graph {
+
+int64_t
+totalElems(const std::vector<Shape> &shapes)
+{
+    int64_t n = 0;
+    for (const Shape &s : shapes)
+        n += s.numel();
+    return n;
+}
+
+std::vector<KernelDesc>
+Op::kernels(const std::vector<Shape> &in,
+            const std::vector<Shape> &out) const
+{
+    // Default model: one bandwidth-bound element-wise kernel that reads
+    // all inputs and writes all outputs.
+    KernelDesc k;
+    k.category = "elementwise";
+    k.flops = totalElems(out);
+    k.bytes_read = totalElems(in) * 4;
+    k.bytes_written = totalElems(out) * 4;
+    return {k};
+}
+
+Node *
+Graph::newNode(NodeKind kind, const std::string &name)
+{
+    auto node = std::make_unique<Node>();
+    node->id = static_cast<int>(nodes_.size());
+    node->kind = kind;
+    node->phase = phase_;
+    node->time_step = time_step_;
+    node->name = name;
+    if (!tag_stack_.empty())
+        node->layer_tag = tag_stack_.back();
+    nodes_.push_back(std::move(node));
+    return nodes_.back().get();
+}
+
+Val
+Graph::placeholder(Shape shape, const std::string &name)
+{
+    Node *n = newNode(NodeKind::kPlaceholder, name);
+    n->phase = Phase::kForward;
+    n->out_shapes = {std::move(shape)};
+    return n->out();
+}
+
+Val
+Graph::weight(Shape shape, const std::string &name)
+{
+    Node *n = newNode(NodeKind::kWeight, name);
+    n->phase = Phase::kForward;
+    n->out_shapes = {std::move(shape)};
+    return n->out();
+}
+
+std::vector<Val>
+Graph::apply(OpPtr op, std::vector<Val> inputs, const std::string &name)
+{
+    ECHO_REQUIRE(op != nullptr, "apply with null op");
+    std::vector<Shape> in_shapes;
+    in_shapes.reserve(inputs.size());
+    for (const Val &v : inputs) {
+        ECHO_REQUIRE(v.defined(), "apply(", op->name(),
+                     "): undefined input value");
+        in_shapes.push_back(shapeOf(v));
+    }
+    Node *n = newNode(NodeKind::kOp, name.empty() ? op->name() : name);
+    n->op = std::move(op);
+    n->inputs = std::move(inputs);
+    n->out_shapes = n->op->inferShapes(in_shapes);
+    ECHO_CHECK(!n->out_shapes.empty(), "op ", n->op->name(),
+               " inferred no outputs");
+    std::vector<Val> outs;
+    outs.reserve(n->out_shapes.size());
+    for (int i = 0; i < n->numOutputs(); ++i)
+        outs.push_back(n->out(i));
+    return outs;
+}
+
+Val
+Graph::apply1(OpPtr op, std::vector<Val> inputs, const std::string &name)
+{
+    std::vector<Val> outs = apply(std::move(op), std::move(inputs), name);
+    ECHO_CHECK(outs.size() == 1, "apply1 on multi-output op");
+    return outs[0];
+}
+
+void
+Graph::pushTag(const std::string &tag)
+{
+    tag_stack_.push_back(tag);
+}
+
+void
+Graph::popTag()
+{
+    ECHO_CHECK(!tag_stack_.empty(), "popTag on empty tag stack");
+    tag_stack_.pop_back();
+}
+
+std::vector<Node *>
+Graph::weights() const
+{
+    std::vector<Node *> out;
+    for (const auto &n : nodes_)
+        if (n->kind == NodeKind::kWeight)
+            out.push_back(n.get());
+    return out;
+}
+
+std::vector<Node *>
+Graph::placeholders() const
+{
+    std::vector<Node *> out;
+    for (const auto &n : nodes_)
+        if (n->kind == NodeKind::kPlaceholder)
+            out.push_back(n.get());
+    return out;
+}
+
+const Shape &
+Graph::shapeOf(const Val &v)
+{
+    ECHO_CHECK(v.defined(), "shapeOf undefined value");
+    ECHO_CHECK(v.index >= 0 && v.index < v.node->numOutputs(),
+               "output index out of range");
+    return v.node->out_shapes[static_cast<size_t>(v.index)];
+}
+
+std::string
+Graph::toString() const
+{
+    std::ostringstream oss;
+    for (const auto &n : nodes_) {
+        oss << "#" << n->id << " ";
+        switch (n->kind) {
+          case NodeKind::kPlaceholder:
+            oss << "placeholder";
+            break;
+          case NodeKind::kWeight:
+            oss << "weight";
+            break;
+          case NodeKind::kOp:
+            oss << n->op->name();
+            break;
+        }
+        oss << " " << n->name << " -> ";
+        for (const Shape &s : n->out_shapes)
+            oss << s.toString();
+        if (!n->inputs.empty()) {
+            oss << "  from";
+            for (const Val &v : n->inputs)
+                oss << " #" << v.node->id << ":" << v.index;
+        }
+        switch (n->phase) {
+          case Phase::kForward:
+            break;
+          case Phase::kBackward:
+            oss << "  [bwd]";
+            break;
+          case Phase::kRecompute:
+            oss << "  [recompute]";
+            break;
+        }
+        if (!n->layer_tag.empty())
+            oss << "  tag=" << n->layer_tag;
+        oss << "\n";
+    }
+    return oss.str();
+}
+
+std::string
+Graph::toDot() const
+{
+    std::ostringstream oss;
+    oss << "digraph echo {\n  rankdir=TB;\n"
+        << "  node [shape=box, fontsize=10];\n";
+    for (const auto &n : nodes_) {
+        const char *fill = "white";
+        switch (n->phase) {
+          case Phase::kForward:
+            fill = n->kind == NodeKind::kWeight ? "lightgoldenrod"
+                                                : "lightblue";
+            break;
+          case Phase::kBackward:
+            fill = "lightsalmon";
+            break;
+          case Phase::kRecompute:
+            fill = "palegreen";
+            break;
+        }
+        std::string label = n->name.empty()
+                                ? (n->op ? n->op->name() : "input")
+                                : n->name;
+        for (char &ch : label)
+            if (ch == '"')
+                ch = '\'';
+        oss << "  n" << n->id << " [label=\"" << label;
+        for (const Shape &s : n->out_shapes)
+            oss << "\\n" << s.toString();
+        oss << "\", style=filled, fillcolor=" << fill << "];\n";
+    }
+    for (const auto &n : nodes_)
+        for (const Val &v : n->inputs)
+            oss << "  n" << v.node->id << " -> n" << n->id << ";\n";
+    oss << "}\n";
+    return oss.str();
+}
+
+std::vector<Node *>
+reachableNodes(const std::vector<Val> &fetches)
+{
+    std::vector<Node *> stack;
+    std::vector<Node *> found;
+    std::unordered_map<const Node *, bool> seen;
+    for (const Val &v : fetches)
+        if (v.defined() && !seen[v.node]) {
+            seen[v.node] = true;
+            stack.push_back(v.node);
+        }
+    while (!stack.empty()) {
+        Node *n = stack.back();
+        stack.pop_back();
+        found.push_back(n);
+        for (const Val &v : n->inputs)
+            if (!seen[v.node]) {
+                seen[v.node] = true;
+                stack.push_back(v.node);
+            }
+    }
+    std::sort(found.begin(), found.end(),
+              [](const Node *a, const Node *b) { return a->id < b->id; });
+    return found;
+}
+
+} // namespace echo::graph

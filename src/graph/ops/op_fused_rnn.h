@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Fused single-layer LSTM operators, modelling cuDNN's RNN API.
+ *
+ * A FusedLstmLayer node runs all T time steps of one LSTM layer in a
+ * single graph node, storing its internal per-step state in an opaque
+ * "reserve" output (cuDNN's reserved space).  Two styles exist:
+ *
+ *  - kCudnn: the input projection is batched across time (one big GEMM,
+ *    M = T*B) but the recurrent projection runs per step in the
+ *    batch-major form (M = B), the skewed-slow case of the paper's
+ *    Fig. 9.
+ *  - kEco: the data layout is [T x H x B]; both projections run in the
+ *    transposed form (M = 4H), the fast case — the paper's data-layout
+ *    optimization.  Numerics are identical; only the kernel descriptors
+ *    (and hence modelled runtime) differ, plus two boundary transpose
+ *    kernels.
+ *
+ * The MXNet "Default" implementation is NOT an op here: it is an unfused
+ * per-step subgraph of primitive ops built by rnn/default_backend.
+ */
+#ifndef ECHO_GRAPH_OPS_OP_FUSED_RNN_H
+#define ECHO_GRAPH_OPS_OP_FUSED_RNN_H
+
+#include "graph/op.h"
+
+namespace echo::graph::oplib {
+
+/** Kernel-lowering style of the fused LSTM layer. */
+enum class FusedRnnStyle { kCudnn, kEco };
+
+/**
+ * Fused LSTM layer over T steps.
+ *
+ * Inputs:  X [TxBxI], Wx [4HxI], Wh [4HxH], bias [4H], h0 [BxH], c0 [BxH]
+ * Outputs: HS [TxBxH], hT [BxH], cT [BxH], reserve [TxBx5H]
+ *
+ * @param multilayer_overlap models cuDNN's wavefront scheduling across
+ *        stacked layers (steps of layer l+1 overlap layer l), which
+ *        discounts the serialized per-step kernels; this is why cuDNN
+ *        occasionally beats the layout optimization on deep stacks
+ *        (paper §6.3, "below 20%").  Only meaningful for kCudnn.
+ */
+OpPtr fusedLstmLayer(FusedRnnStyle style, bool multilayer_overlap = false);
+
+/**
+ * Gradient of fusedLstmLayer.
+ *
+ * Inputs:  dHS, dhT, dcT, X, HS, reserve, Wx, Wh, h0, c0
+ * Outputs: dX, dWx, dWh, dbias, dh0, dc0
+ */
+OpPtr fusedLstmLayerGrad(FusedRnnStyle style, bool multilayer_overlap = false);
+
+} // namespace echo::graph::oplib
+
+#endif // ECHO_GRAPH_OPS_OP_FUSED_RNN_H

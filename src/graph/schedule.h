@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Deterministic execution schedule for a (possibly rewritten) graph.
+ *
+ * Node-creation order is topological, so a plain id sort would be a
+ * valid schedule — but a naive order would run recompute nodes (the
+ * forward replays spliced in by the Echo pass) as early as their inputs
+ * allow, keeping their outputs alive across the whole backward pass and
+ * destroying the footprint savings.  buildSchedule instead anchors every
+ * recompute node just before its first backward consumer, which is what
+ * lets the memory planner reuse one workspace arena across all time
+ * steps (paper §4.1.2).
+ */
+#ifndef ECHO_GRAPH_SCHEDULE_H
+#define ECHO_GRAPH_SCHEDULE_H
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace echo::graph {
+
+/**
+ * Build the execution order for everything @p fetches depends on.
+ * Forward nodes run in id order, then backward nodes in id order, with
+ * recompute nodes delayed until just before their earliest consumer.
+ */
+std::vector<Node *> buildSchedule(const std::vector<Val> &fetches);
+
+} // namespace echo::graph
+
+#endif // ECHO_GRAPH_SCHEDULE_H

@@ -1,0 +1,69 @@
+#include "layout/autotuner.h"
+
+#include "graph/autodiff.h"
+#include "graph/ops/oplib.h"
+#include "rnn/stack.h"
+
+namespace echo::layout {
+
+namespace ol = graph::oplib;
+
+double
+pureLstmIterationTimeUs(const rnn::LstmSpec &spec,
+                        rnn::RnnBackend backend,
+                        const gpusim::GpuSpec &gpu)
+{
+    graph::Graph g;
+    const graph::Val x = g.placeholder(
+        Shape({spec.seq_len, spec.batch, spec.input_size}), "x");
+    const rnn::LstmStack stack =
+        rnn::buildLstmStack(g, x, spec, backend, "lstm");
+
+    // Reduce the hidden states to a scalar so a backward pass exists;
+    // the reduction itself is one cheap kernel.
+    const int64_t numel =
+        spec.seq_len * spec.batch * spec.hidden;
+    const graph::Val flat =
+        g.apply1(ol::reshape(Shape({1, 1, numel})), {stack.hs});
+    const graph::Val ones =
+        g.apply1(ol::constant(Shape({numel}), 1.0f), {});
+    const graph::Val score =
+        g.apply1(ol::dotLastAxis(), {flat, ones});
+    const graph::Val loss =
+        g.apply1(ol::reshape(Shape({1})), {score});
+
+    std::vector<graph::Val> wrt;
+    for (const rnn::LstmWeights &w : stack.weights) {
+        wrt.push_back(w.wx);
+        wrt.push_back(w.wh);
+        wrt.push_back(w.bias);
+    }
+    const graph::GradientResult gr = graph::backward(g, loss, wrt);
+
+    std::vector<graph::Val> fetches = {loss};
+    fetches.insert(fetches.end(), gr.weight_grads.begin(),
+                   gr.weight_grads.end());
+    return gpusim::simulateRun(fetches, gpu).wall_time_us;
+}
+
+AutotuneResult
+autotune(const rnn::LstmSpec &spec, const gpusim::GpuSpec &gpu)
+{
+    AutotuneResult res;
+    double best = 0.0;
+    bool first = true;
+    for (const rnn::RnnBackend backend :
+         {rnn::RnnBackend::kDefault, rnn::RnnBackend::kCudnn,
+          rnn::RnnBackend::kEco}) {
+        const double t = pureLstmIterationTimeUs(spec, backend, gpu);
+        res.iteration_time_us[backend] = t;
+        if (first || t < best) {
+            best = t;
+            res.best = backend;
+            first = false;
+        }
+    }
+    return res;
+}
+
+} // namespace echo::layout

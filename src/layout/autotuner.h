@@ -1,0 +1,49 @@
+/**
+ * @file
+ * The autotuning microbenchmark (paper §5.4, Fig. 11, Table 2).
+ *
+ * Before training starts, the tuner builds a pure-LSTM training
+ * iteration (forward + backward, no embedding/attention/output layers)
+ * for each backend at the user's hyperparameters, measures one
+ * iteration per backend on the GPU model (milliseconds of modelled
+ * time, run once), and selects the fastest.  Backend selection is thus
+ * transparent: models ask the tuner instead of exposing a -fused flag.
+ */
+#ifndef ECHO_LAYOUT_AUTOTUNER_H
+#define ECHO_LAYOUT_AUTOTUNER_H
+
+#include <map>
+
+#include "gpusim/timeline.h"
+#include "rnn/rnn_config.h"
+
+namespace echo::layout {
+
+/** Result of one microbenchmark run. */
+struct AutotuneResult
+{
+    rnn::RnnBackend best = rnn::RnnBackend::kDefault;
+    /** One-iteration modelled time per backend, microseconds. */
+    std::map<rnn::RnnBackend, double> iteration_time_us;
+
+    double bestTime() const { return iteration_time_us.at(best); }
+};
+
+/**
+ * Run the microbenchmark: simulate one fwd+bwd iteration of a pure
+ * LSTM stack per backend and pick the fastest.
+ */
+AutotuneResult autotune(const rnn::LstmSpec &spec,
+                        const gpusim::GpuSpec &gpu);
+
+/**
+ * Modelled time of one pure-LSTM training iteration for @p backend —
+ * the Fig. 20 measurement, also reused by autotune().
+ */
+double pureLstmIterationTimeUs(const rnn::LstmSpec &spec,
+                               rnn::RnnBackend backend,
+                               const gpusim::GpuSpec &gpu);
+
+} // namespace echo::layout
+
+#endif // ECHO_LAYOUT_AUTOTUNER_H

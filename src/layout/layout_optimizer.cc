@@ -1,0 +1,30 @@
+#include "layout/layout_optimizer.h"
+
+namespace echo::layout {
+
+const char *
+layoutName(RnnLayout layout)
+{
+    return layout == RnnLayout::kTBH ? "[TxBxH]" : "[TxHxB]";
+}
+
+LayoutDecision
+chooseLayout(const rnn::LstmSpec &spec, const gpusim::GpuSpec &gpu)
+{
+    LayoutDecision d;
+    // Batch-major form: Y = X W^T, output rows = B.
+    d.tbh_time_us =
+        gpusim::estimateGemm(
+            {spec.batch, 4 * spec.hidden, spec.hidden}, gpu)
+            .time_us;
+    // Transposed form: Y^T = W X^T, output rows = 4H.
+    d.thb_time_us =
+        gpusim::estimateGemm(
+            {4 * spec.hidden, spec.batch, spec.hidden}, gpu)
+            .time_us;
+    d.layout = d.thb_time_us < d.tbh_time_us ? RnnLayout::kTHB
+                                             : RnnLayout::kTBH;
+    return d;
+}
+
+} // namespace echo::layout

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Data-layout optimization (paper §4.2 / §5.3).
+ *
+ * General data-layout assignment is NP-hard, but in an LSTM every time
+ * step runs the *same* fully-connected layer, so the decision collapses
+ * to one binary choice per stack: keep the input batch-major
+ * ([T x B x H], GEMM form Y = X W^T with M = B) or transpose it to
+ * [T x H x B] (GEMM form Y^T = W X^T with M = 4H).  The optimizer makes
+ * that choice by comparing the two forms under the analytical GEMM
+ * model — exactly one representative layer, as the paper argues.
+ */
+#ifndef ECHO_LAYOUT_LAYOUT_OPTIMIZER_H
+#define ECHO_LAYOUT_LAYOUT_OPTIMIZER_H
+
+#include "gpusim/gemm_model.h"
+#include "rnn/rnn_config.h"
+
+namespace echo::layout {
+
+/** The two candidate layouts for the per-step LSTM input. */
+enum class RnnLayout { kTBH, kTHB };
+
+/** Printable layout name. */
+const char *layoutName(RnnLayout layout);
+
+/** Decision plus the evidence it was made on. */
+struct LayoutDecision
+{
+    RnnLayout layout = RnnLayout::kTBH;
+    /** Modelled time of one recurrent projection in each layout, us. */
+    double tbh_time_us = 0.0;
+    double thb_time_us = 0.0;
+
+    double speedup() const { return tbh_time_us / thb_time_us; }
+};
+
+/**
+ * Choose the layout for one LSTM stack by costing a single
+ * representative recurrent projection in both forms (the paper's
+ * one-binary-decision reduction of the NP-hard general problem).
+ */
+LayoutDecision chooseLayout(const rnn::LstmSpec &spec,
+                            const gpusim::GpuSpec &gpu);
+
+} // namespace echo::layout
+
+#endif // ECHO_LAYOUT_LAYOUT_OPTIMIZER_H

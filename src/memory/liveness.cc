@@ -1,0 +1,116 @@
+#include "memory/liveness.h"
+
+#include <unordered_set>
+
+#include "core/logging.h"
+#include "graph/schedule.h"
+
+namespace echo::memory {
+
+const char *
+dataStructureName(DataStructure ds)
+{
+    switch (ds) {
+      case DataStructure::kPlaceholders:
+        return "placeholders";
+      case DataStructure::kWeights:
+        return "weights";
+      case DataStructure::kFeatureMaps:
+        return "feature_maps";
+      case DataStructure::kWorkspace:
+        return "workspace";
+    }
+    return "?";
+}
+
+LivenessResult
+analyzeLiveness(const std::vector<Val> &fetches,
+                const std::vector<Val> &weight_grads)
+{
+    LivenessResult res;
+    res.schedule = graph::buildSchedule(fetches);
+
+    std::unordered_map<const Node *, int> pos;
+    for (size_t i = 0; i < res.schedule.size(); ++i)
+        pos[res.schedule[i]] = static_cast<int>(i);
+
+    std::unordered_set<Val, ValHash> grad_set(weight_grads.begin(),
+                                              weight_grads.end());
+    std::unordered_set<Val, ValHash> fetch_set(fetches.begin(),
+                                               fetches.end());
+
+    // Create a record per output value.
+    for (Node *n : res.schedule) {
+        for (int i = 0; i < n->numOutputs(); ++i) {
+            ValueInfo info;
+            info.val = n->out(i);
+            info.bytes =
+                n->out_shapes[static_cast<size_t>(i)].bytes();
+            info.def_pos = pos.at(n);
+            info.last_use_pos = info.def_pos;
+            info.layer_tag =
+                n->layer_tag.empty() ? "other" : n->layer_tag;
+            res.index[info.val] = res.values.size();
+            res.values.push_back(info);
+        }
+    }
+
+    // Extend intervals to the last consumer.
+    for (Node *n : res.schedule) {
+        const int p = pos.at(n);
+        for (const Val &v : n->inputs) {
+            ValueInfo &info = res.values[res.index.at(v)];
+            info.last_use_pos = std::max(info.last_use_pos, p);
+        }
+    }
+
+    // Categorize.  A forward value consumed by a backward node is a
+    // feature map; recompute consumers do NOT make a value a feature map
+    // (the whole point of the Echo rewrite is that only the cheap
+    // frontier stays stashed — and that frontier is what recompute nodes
+    // read).
+    std::unordered_set<Val, ValHash> fwd_consumed_by_bwd;
+    for (Node *n : res.schedule) {
+        if (n->phase != graph::Phase::kBackward)
+            continue;
+        for (const Val &v : n->inputs)
+            if (v.node->phase == graph::Phase::kForward &&
+                v.node->kind == graph::NodeKind::kOp)
+                fwd_consumed_by_bwd.insert(v);
+    }
+    // Values read by recompute nodes are stashed inputs: they stay alive
+    // into the backward region exactly like feature maps, so they count
+    // as feature maps too (they are just much smaller).
+    for (Node *n : res.schedule) {
+        if (n->phase != graph::Phase::kRecompute)
+            continue;
+        for (const Val &v : n->inputs)
+            if (v.node->phase == graph::Phase::kForward &&
+                v.node->kind == graph::NodeKind::kOp)
+                fwd_consumed_by_bwd.insert(v);
+    }
+
+    for (ValueInfo &info : res.values) {
+        const Node *n = info.val.node;
+        if (n->kind == graph::NodeKind::kPlaceholder) {
+            info.category = DataStructure::kPlaceholders;
+            info.persistent = true;
+        } else if (n->kind == graph::NodeKind::kWeight) {
+            info.category = DataStructure::kWeights;
+            info.persistent = true;
+        } else if (grad_set.count(info.val)) {
+            info.category = DataStructure::kWeights;
+            info.persistent = true;
+        } else if (fwd_consumed_by_bwd.count(info.val)) {
+            info.category = DataStructure::kFeatureMaps;
+        } else {
+            info.category = DataStructure::kWorkspace;
+        }
+        if (fetch_set.count(info.val))
+            info.persistent = true;
+    }
+
+    return res;
+}
+
+} // namespace echo::memory

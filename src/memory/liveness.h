@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Liveness analysis over an execution schedule.
+ *
+ * Every value (node output) gets a live interval [def, last_use] in
+ * schedule positions, the size it occupies, and its data-structure
+ * category in the paper's taxonomy (§3.2):
+ *
+ *  - Placeholders: outputs of placeholder nodes (model inputs/labels),
+ *  - Weights: parameters, their gradients, and (modelled) optimizer
+ *    state,
+ *  - Feature maps: forward-phase outputs consumed by backward-phase
+ *    nodes — the "reserved space" that dominates LSTM training memory,
+ *  - Workspace: everything else (forward temporaries, backward
+ *    temporaries, and the recompute outputs introduced by the Echo
+ *    pass).
+ */
+#ifndef ECHO_MEMORY_LIVENESS_H
+#define ECHO_MEMORY_LIVENESS_H
+
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace echo::memory {
+
+using graph::Node;
+using graph::Val;
+using graph::ValHash;
+
+/** Paper §3.2 data-structure categories. */
+enum class DataStructure {
+    kPlaceholders,
+    kWeights,
+    kFeatureMaps,
+    kWorkspace,
+};
+
+/** Printable category name. */
+const char *dataStructureName(DataStructure ds);
+
+/** One value's liveness record. */
+struct ValueInfo
+{
+    Val val;
+    int64_t bytes = 0;
+    /** Schedule position of the producing node. */
+    int def_pos = 0;
+    /** Schedule position of the last consumer (== def_pos if unused). */
+    int last_use_pos = 0;
+    /** Lives for the whole run (weights, placeholders, fetches). */
+    bool persistent = false;
+    DataStructure category = DataStructure::kWorkspace;
+    /** Layer tag of the producing node ("" -> "other"). */
+    std::string layer_tag;
+};
+
+/** Result of analyzing one schedule. */
+struct LivenessResult
+{
+    std::vector<Node *> schedule;
+    std::vector<ValueInfo> values;
+    /** Index into values for each val. */
+    std::unordered_map<Val, size_t, ValHash> index;
+};
+
+/**
+ * Analyze liveness of everything @p fetches needs.
+ *
+ * @param weight_grads values that are gradients of weights; they are
+ *        categorized as Weights (the paper counts gradients and
+ *        optimizer state under "Weights").
+ */
+LivenessResult
+analyzeLiveness(const std::vector<Val> &fetches,
+                const std::vector<Val> &weight_grads = {});
+
+} // namespace echo::memory
+
+#endif // ECHO_MEMORY_LIVENESS_H

@@ -1,0 +1,132 @@
+#include "memory/planner.h"
+
+#include <map>
+
+#include "core/logging.h"
+
+namespace echo::memory {
+
+namespace {
+
+/** Best-fit free-list allocator over a growable address range. */
+class Pool
+{
+  public:
+    /** Allocate @p bytes; extends the high-water mark when no block
+     *  fits. */
+    int64_t
+    allocate(int64_t bytes)
+    {
+        // Best fit: smallest free block that is large enough.
+        auto best = free_.end();
+        for (auto it = free_.begin(); it != free_.end(); ++it)
+            if (it->second >= bytes &&
+                (best == free_.end() || it->second < best->second))
+                best = it;
+        if (best != free_.end()) {
+            const int64_t offset = best->first;
+            const int64_t remaining = best->second - bytes;
+            free_.erase(best);
+            if (remaining > 0)
+                free_[offset + bytes] = remaining;
+            return offset;
+        }
+        const int64_t offset = top_;
+        top_ += bytes;
+        return offset;
+    }
+
+    /** Return a block, merging with adjacent free blocks. */
+    void
+    release(int64_t offset, int64_t bytes)
+    {
+        auto [it, inserted] = free_.emplace(offset, bytes);
+        ECHO_CHECK(inserted, "double free at offset ", offset);
+        // Merge with successor.
+        auto next = std::next(it);
+        if (next != free_.end() &&
+            it->first + it->second == next->first) {
+            it->second += next->second;
+            free_.erase(next);
+        }
+        // Merge with predecessor.
+        if (it != free_.begin()) {
+            auto prev = std::prev(it);
+            if (prev->first + prev->second == it->first) {
+                prev->second += it->second;
+                free_.erase(it);
+            }
+        }
+    }
+
+    int64_t top() const { return top_; }
+
+  private:
+    std::map<int64_t, int64_t> free_;
+    int64_t top_ = 0;
+};
+
+int64_t
+alignUp(int64_t v, int64_t a)
+{
+    return (v + a - 1) / a * a;
+}
+
+} // namespace
+
+MemoryPlan
+planMemory(const LivenessResult &live, const PlannerOptions &opts)
+{
+    MemoryPlan plan;
+
+    // Group transient values by def / free position.
+    const size_t steps = live.schedule.size();
+    std::vector<std::vector<const ValueInfo *>> defs(steps);
+    std::vector<std::vector<const ValueInfo *>> frees(steps);
+    for (const ValueInfo &info : live.values) {
+        if (info.persistent) {
+            plan.persistent_bytes +=
+                alignUp(info.bytes, opts.alignment);
+            continue;
+        }
+        defs[static_cast<size_t>(info.def_pos)].push_back(&info);
+        frees[static_cast<size_t>(info.last_use_pos)].push_back(&info);
+    }
+
+    Pool pool;
+    int64_t no_reuse_top = 0;
+    int64_t live_bytes = 0;
+    int64_t max_live_bytes = -1;
+
+    for (size_t p = 0; p < steps; ++p) {
+        for (const ValueInfo *info : defs[p]) {
+            const int64_t sz = alignUp(info->bytes, opts.alignment);
+            Allocation a;
+            a.bytes = sz;
+            if (opts.reuse_transients) {
+                a.offset = pool.allocate(sz);
+            } else {
+                a.offset = no_reuse_top;
+                no_reuse_top += sz;
+            }
+            plan.offsets[info->val] = a;
+            live_bytes += sz;
+        }
+        if (live_bytes > max_live_bytes) {
+            max_live_bytes = live_bytes;
+            plan.peak_pos = static_cast<int>(p);
+        }
+        for (const ValueInfo *info : frees[p]) {
+            const Allocation &a = plan.offsets.at(info->val);
+            if (opts.reuse_transients)
+                pool.release(a.offset, a.bytes);
+            live_bytes -= a.bytes;
+        }
+    }
+
+    plan.pool_peak_bytes =
+        opts.reuse_transients ? pool.top() : no_reuse_top;
+    return plan;
+}
+
+} // namespace echo::memory

@@ -1,0 +1,80 @@
+#include "models/attention.h"
+
+#include "core/logging.h"
+#include "graph/ops/oplib.h"
+
+namespace echo::models {
+
+namespace ol = graph::oplib;
+using graph::Graph;
+using graph::Val;
+
+AttentionWeights
+makeAttentionWeights(Graph &g, int64_t hidden, NamedWeights &registry,
+                     const std::string &prefix)
+{
+    graph::TagScope tag(g, "attention");
+    AttentionWeights w;
+    w.wq = g.weight(Shape({hidden, hidden}), prefix + ".wq");
+    w.wk = g.weight(Shape({hidden, hidden}), prefix + ".wk");
+    w.v = g.weight(Shape({hidden}), prefix + ".v");
+    w.wc = g.weight(Shape({hidden, 2 * hidden}), prefix + ".wc");
+    registry.emplace_back(prefix + ".wq", w.wq);
+    registry.emplace_back(prefix + ".wk", w.wk);
+    registry.emplace_back(prefix + ".v", w.v);
+    registry.emplace_back(prefix + ".wc", w.wc);
+    return w;
+}
+
+Val
+projectKeys(Graph &g, Val hs, const AttentionWeights &w)
+{
+    graph::TagScope tag(g, "attention");
+    const Shape &s = graph::Graph::shapeOf(hs);
+    ECHO_REQUIRE(s.ndim() == 3, "encoder states must be [BxTxH]");
+    const int64_t b = s[0], t = s[1], h = s[2];
+    const Val flat = g.apply1(ol::reshape(Shape({b * t, h})), {hs});
+    const Val projected =
+        g.apply1(ol::gemm(false, true), {flat, w.wk}, "attn_keys");
+    return g.apply1(ol::reshape(Shape({b, t, h})), {projected});
+}
+
+Val
+attentionStep(Graph &g, Val query, Val keys, Val values,
+              const AttentionWeights &w, bool normalize)
+{
+    graph::TagScope tag(g, "attention");
+    const Shape &ks = graph::Graph::shapeOf(keys);
+    const int64_t b = ks[0], t = ks[1], h = ks[2];
+
+    // Query projection (GEMM: stays outside the O-shape interior).
+    const Val q = g.apply1(ol::gemm(false, true), {query, w.wq},
+                           "attn_query");
+
+    // --- The O-shape scoring interior (recomputable, GEMM-free) ---
+    const Val e =
+        g.apply1(ol::broadcastAddBT(), {keys, q}, "attn_compare");
+    const Val pre = normalize
+                        ? g.apply(ol::layerNorm(), {e}, "attn_norm")[0]
+                        : e;
+    const Val th = g.apply1(ol::tanhOp(), {pre}, "attn_tanh");
+    const Val scores =
+        g.apply1(ol::dotLastAxis(), {th, w.v}, "attn_scores");
+    // ---------------------------------------------------------------
+
+    const Val alpha = g.apply1(ol::softmax(), {scores}, "attn_weights");
+    const Val alpha3 =
+        g.apply1(ol::reshape(Shape({b, 1, t})), {alpha});
+    const Val ctx3 = g.apply1(ol::bmm(false, false), {alpha3, values},
+                              "attn_context");
+    const Val ctx = g.apply1(ol::reshape(Shape({b, h})), {ctx3});
+
+    // a_t = tanh(Wc [ctx; h_t])
+    const Val cat = g.apply1(ol::concat(1), {ctx, query});
+    return g.apply1(
+        ol::tanhOp(),
+        {g.apply1(ol::gemm(false, true), {cat, w.wc})},
+        "attn_hidden");
+}
+
+} // namespace echo::models

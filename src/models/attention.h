@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The attention layer of the NMT model (paper §2.2, Fig. 3): the
+ * scoring function the paper identifies as O-shaped (§4.1.1).
+ *
+ * The scoring composite — broadcast compare + layer normalization +
+ * tanh + v-dot (Bahdanau-style MLP attention with normalization, as in
+ * Sockeye's rnn_attention) — has per-step inputs of O(B·H) and outputs
+ * of O(B·T) but interior tensors of O(B·T·H); summed over decoder
+ * steps, that is the O(B·T²·H) feature-map bottleneck of Fig. 5.
+ * Nodes are tagged "attention" so both the Manual policy of the Echo
+ * pass and the breakdown reports can find them.
+ */
+#ifndef ECHO_MODELS_ATTENTION_H
+#define ECHO_MODELS_ATTENTION_H
+
+#include "models/params.h"
+
+namespace echo::models {
+
+/** Weights of the attention layer (shared across decoder steps). */
+struct AttentionWeights
+{
+    graph::Val wq; ///< query projection [H x H]
+    graph::Val wk; ///< key projection [H x H]
+    graph::Val v;  ///< scoring vector [H]
+    graph::Val wc; ///< attention-hidden projection [H x 2H]
+};
+
+/** Create the attention weights and register their names. */
+AttentionWeights makeAttentionWeights(graph::Graph &g, int64_t hidden,
+                                      NamedWeights &registry,
+                                      const std::string &prefix);
+
+/**
+ * Project the encoder states into attention keys once per sentence:
+ * hs [B x T x H] -> keys [B x T x H].  (GEMM output: stays stashed —
+ * it is the frontier of the recomputation region.)
+ */
+graph::Val projectKeys(graph::Graph &g, graph::Val hs,
+                       const AttentionWeights &w);
+
+/**
+ * One decoder step of attention.
+ *
+ * @param query decoder hidden state h_t [B x H]
+ * @param keys projected encoder states [B x T x H]
+ * @param values raw encoder states [B x T x H]
+ * @param normalize apply layer normalization inside the scoring
+ *        composite (Sockeye's rnn_attention).  false reproduces
+ *        TensorFlow-NMT's plain Bahdanau scoring — the §6.2.2
+ *        cross-framework generality variant.
+ * @return attention hidden state a_t [B x H]
+ */
+graph::Val attentionStep(graph::Graph &g, graph::Val query,
+                         graph::Val keys, graph::Val values,
+                         const AttentionWeights &w,
+                         bool normalize = true);
+
+} // namespace echo::models
+
+#endif // ECHO_MODELS_ATTENTION_H

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * The NMT model (paper §2.2, Fig. 3): bi-directional LSTM encoder,
+ * LSTM decoder with input feeding, and the Luong/Bahdanau-style
+ * attention layer whose scoring function is the O-shape memory
+ * bottleneck.
+ *
+ * Three graphs share one set of named parameters:
+ *  - the training graph (teacher-forced, loss + weight gradients),
+ *  - an encoder graph (source -> encoder states + attention keys),
+ *  - a step-decoder graph (one greedy decoding step),
+ * the latter two powering free-running greedy decoding for BLEU
+ * evaluation (Fig. 12b).
+ */
+#ifndef ECHO_MODELS_NMT_H
+#define ECHO_MODELS_NMT_H
+
+#include <memory>
+
+#include "data/batcher.h"
+#include "models/attention.h"
+#include "models/params.h"
+#include "rnn/stack.h"
+
+namespace echo::models {
+
+/** NMT hyperparameters. */
+struct NmtConfig
+{
+    int64_t src_vocab = 17191; ///< IWSLT15 English side
+    int64_t tgt_vocab = 7709;  ///< IWSLT15 Vietnamese side
+    int64_t hidden = 512;
+    int64_t enc_layers = 1;
+    int64_t batch = 64;
+    int64_t src_len = 50;
+    int64_t tgt_len = 50;
+    rnn::RnnBackend encoder_backend = rnn::RnnBackend::kDefault;
+    /** Bi-directional first encoder layer (uses SequenceReverse). */
+    bool bidirectional = true;
+    /** Use the paper's batch-parallel SequenceReverse (par_rev). */
+    bool parallel_reverse = true;
+    /** Normalized (Sockeye-style) attention scoring; false gives the
+     *  TensorFlow-NMT-style plain Bahdanau composite (§6.2.2). */
+    bool normalized_attention = true;
+};
+
+/** The NMT training graph plus its decoding graphs. */
+class NmtModel
+{
+  public:
+    explicit NmtModel(const NmtConfig &config);
+    ~NmtModel();
+
+    const NmtConfig &config() const { return config_; }
+    graph::Graph &graph() { return *graph_; }
+
+    const std::vector<graph::Val> &fetches() const { return fetches_; }
+    const std::vector<graph::Val> &weightGrads() const
+    {
+        return weight_grads_;
+    }
+    const graph::Val &loss() const { return loss_; }
+    const NamedWeights &weights() const { return weights_; }
+
+    ParamStore initialParams(Rng &rng) const;
+
+    graph::FeedDict makeFeed(const ParamStore &params,
+                             const data::NmtBatch &batch) const;
+
+    /**
+     * Greedy decoding of a source batch ([B x Ts] token tensor) up to
+     * @p max_len target tokens; sequences stop at EOS.
+     */
+    std::vector<std::vector<int64_t>>
+    greedyDecode(const ParamStore &params, const Tensor &src,
+                 int64_t max_len) const;
+
+  private:
+    struct DecodeGraphs; // encoder + step graphs (built lazily)
+
+    NmtConfig config_;
+    std::unique_ptr<graph::Graph> graph_;
+    graph::Val src_, tgt_in_, tgt_labels_, loss_;
+    NamedWeights weights_;
+    std::vector<graph::Val> weight_grads_;
+    std::vector<graph::Val> fetches_;
+    mutable std::unique_ptr<DecodeGraphs> decode_;
+
+    DecodeGraphs &decodeGraphs() const;
+};
+
+} // namespace echo::models
+
+#endif // ECHO_MODELS_NMT_H

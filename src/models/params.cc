@@ -1,0 +1,38 @@
+#include "models/params.h"
+
+#include <cmath>
+
+#include "core/logging.h"
+
+namespace echo::models {
+
+ParamStore
+initParams(const NamedWeights &weights, Rng &rng, float scale)
+{
+    ParamStore store;
+    for (const auto &[name, val] : weights) {
+        const Shape &shape = graph::Graph::shapeOf(val);
+        float s = scale;
+        if (s <= 0.0f) {
+            const int64_t fan_in =
+                shape.ndim() >= 2 ? shape.dim(-1) : shape.dim(0);
+            s = 1.0f / std::sqrt(static_cast<float>(
+                           std::max<int64_t>(1, fan_in)));
+        }
+        store[name] = Tensor::uniform(shape, rng, -s, s);
+    }
+    return store;
+}
+
+void
+feedParams(graph::FeedDict &feed, const NamedWeights &weights,
+           const ParamStore &params)
+{
+    for (const auto &[name, val] : weights) {
+        auto it = params.find(name);
+        ECHO_REQUIRE(it != params.end(), "no parameter named ", name);
+        feed[val.node] = it->second;
+    }
+}
+
+} // namespace echo::models

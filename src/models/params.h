@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Parameter storage shared across a model's graphs.
+ *
+ * Models can build several graphs over the same weights (the NMT model
+ * has a training graph, an encoder graph, and a step-decoder graph for
+ * greedy decoding).  Weights are therefore identified by NAME; a
+ * ParamStore maps names to tensors, and each graph binds its own weight
+ * nodes to the store when a FeedDict is assembled.
+ */
+#ifndef ECHO_MODELS_PARAMS_H
+#define ECHO_MODELS_PARAMS_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/rng.h"
+#include "graph/executor.h"
+
+namespace echo::models {
+
+/** Named parameter tensors. */
+using ParamStore = std::map<std::string, Tensor>;
+
+/** A graph's weight bindings: name -> weight node value. */
+using NamedWeights = std::vector<std::pair<std::string, graph::Val>>;
+
+/**
+ * Initialize a store with uniform(-scale, scale) tensors for every
+ * named weight (scale defaults to the usual 1/sqrt(fan-in) heuristic
+ * per tensor when @p scale <= 0).
+ */
+ParamStore initParams(const NamedWeights &weights, Rng &rng,
+                      float scale = 0.0f);
+
+/** Copy every named weight's tensor from @p params into @p feed. */
+void feedParams(graph::FeedDict &feed, const NamedWeights &weights,
+                const ParamStore &params);
+
+} // namespace echo::models
+
+#endif // ECHO_MODELS_PARAMS_H

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Parameter-store checkpointing.
+ *
+ * A minimal, dependency-free binary format ("ECHO0001") holding named
+ * FP32 tensors: checkpoint/resume for the training examples and a
+ * stable interchange point for users embedding the library.
+ *
+ * Layout: magic, u64 count, then per tensor: u64 name length, name
+ * bytes, u64 ndim, i64 dims..., f32 data... — all little-endian.
+ */
+#ifndef ECHO_MODELS_SERIALIZE_H
+#define ECHO_MODELS_SERIALIZE_H
+
+#include <string>
+
+#include "models/params.h"
+
+namespace echo::models {
+
+/** Write @p params to @p path (overwrites).  fatal() on I/O errors. */
+void saveParams(const ParamStore &params, const std::string &path);
+
+/** Read a checkpoint written by saveParams. fatal() on bad files. */
+ParamStore loadParams(const std::string &path);
+
+} // namespace echo::models
+
+#endif // ECHO_MODELS_SERIALIZE_H

@@ -1,0 +1,106 @@
+#include "models/word_lm.h"
+
+#include "core/logging.h"
+#include "graph/autodiff.h"
+#include "graph/ops/oplib.h"
+
+namespace echo::models {
+
+namespace ol = graph::oplib;
+using graph::Graph;
+using graph::TagScope;
+using graph::Val;
+
+WordLmModel::WordLmModel(const WordLmConfig &config)
+    : config_(config), graph_(std::make_unique<Graph>())
+{
+    Graph &g = *graph_;
+    const int64_t b = config.batch, t = config.seq_len,
+                  h = config.hidden, v = config.vocab;
+
+    tokens_ = g.placeholder(Shape({b, t}), "tokens");
+    labels_ = g.placeholder(Shape({b * t}), "labels");
+
+    Val rnn_in;
+    Val emb_table;
+    {
+        TagScope tag(g, "embedding");
+        emb_table = g.weight(Shape({v, h}), "embedding.table");
+        weights_.emplace_back("embedding.table", emb_table);
+        const Val embedded =
+            g.apply1(ol::embedding(), {emb_table, tokens_});
+        // Time-major for the LSTM stack: [B x T x H] -> [T x B x H].
+        rnn_in = g.apply1(ol::permute3d({1, 0, 2}), {embedded});
+    }
+
+    rnn::LstmStack stack;
+    {
+        TagScope tag(g, "rnn");
+        rnn::LstmSpec spec;
+        spec.input_size = h;
+        spec.hidden = h;
+        spec.layers = config.layers;
+        spec.batch = b;
+        spec.seq_len = t;
+        stack = rnn::buildLstmStack(g, rnn_in, spec, config.backend,
+                                    "lstm");
+        for (size_t layer = 0; layer < stack.weights.size(); ++layer) {
+            const std::string prefix =
+                "lstm.l" + std::to_string(layer);
+            weights_.emplace_back(prefix + ".wx",
+                                  stack.weights[layer].wx);
+            weights_.emplace_back(prefix + ".wh",
+                                  stack.weights[layer].wh);
+            weights_.emplace_back(prefix + ".bias",
+                                  stack.weights[layer].bias);
+        }
+    }
+
+    {
+        TagScope tag(g, "output");
+        const Val w_out = g.weight(Shape({v, h}), "output.weight");
+        const Val b_out = g.weight(Shape({v}), "output.bias");
+        weights_.emplace_back("output.weight", w_out);
+        weights_.emplace_back("output.bias", b_out);
+
+        // Batch-major flattening so rows align with the label layout.
+        const Val hs_bth =
+            g.apply1(ol::permute3d({1, 0, 2}), {stack.hs});
+        const Val flat =
+            g.apply1(ol::reshape(Shape({b * t, h})), {hs_bth});
+        const Val logits = g.apply1(
+            ol::addBias(),
+            {g.apply1(ol::gemm(false, true), {flat, w_out}), b_out});
+        loss_ = g.apply1(ol::crossEntropyLoss(), {logits, labels_},
+                         "lm_loss");
+    }
+
+    std::vector<Val> wrt;
+    wrt.reserve(weights_.size());
+    for (const auto &[name, val] : weights_)
+        wrt.push_back(val);
+    const graph::GradientResult gr = graph::backward(g, loss_, wrt);
+    weight_grads_ = gr.weight_grads;
+    fetches_ = {loss_};
+    fetches_.insert(fetches_.end(), weight_grads_.begin(),
+                    weight_grads_.end());
+}
+
+ParamStore
+WordLmModel::initialParams(Rng &rng) const
+{
+    return initParams(weights_, rng);
+}
+
+graph::FeedDict
+WordLmModel::makeFeed(const ParamStore &params,
+                      const data::LmBatch &batch) const
+{
+    graph::FeedDict feed;
+    feedParams(feed, weights_, params);
+    feed[tokens_.node] = batch.tokens;
+    feed[labels_.node] = batch.labels;
+    return feed;
+}
+
+} // namespace echo::models

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Word-level language model (paper §2.1, Fig. 2): Embedding -> LSTM
+ * stack -> Output layer -> perplexity loss.  The LSTM backend is
+ * selectable (Default / CuDNN / Eco) or can be chosen automatically by
+ * the layout autotuner, exactly as §5.4 describes.
+ */
+#ifndef ECHO_MODELS_WORD_LM_H
+#define ECHO_MODELS_WORD_LM_H
+
+#include "data/batcher.h"
+#include "models/params.h"
+#include "rnn/stack.h"
+
+namespace echo::models {
+
+/** Hyperparameters of the word-level LM. */
+struct WordLmConfig
+{
+    int64_t vocab = 10000;
+    int64_t hidden = 512; ///< embedding size == hidden size
+    int64_t layers = 2;
+    int64_t batch = 32;
+    int64_t seq_len = 35;
+    rnn::RnnBackend backend = rnn::RnnBackend::kDefault;
+};
+
+/** The built training graph of the word-level LM. */
+class WordLmModel
+{
+  public:
+    explicit WordLmModel(const WordLmConfig &config);
+
+    const WordLmConfig &config() const { return config_; }
+    graph::Graph &graph() { return *graph_; }
+
+    /** Training-iteration outputs: loss followed by weight grads. */
+    const std::vector<graph::Val> &fetches() const { return fetches_; }
+    const std::vector<graph::Val> &weightGrads() const
+    {
+        return weight_grads_;
+    }
+    const graph::Val &loss() const { return loss_; }
+    const NamedWeights &weights() const { return weights_; }
+
+    /** Initialize a fresh parameter store. */
+    ParamStore initialParams(Rng &rng) const;
+
+    /** Assemble the feed for one batch. */
+    graph::FeedDict makeFeed(const ParamStore &params,
+                             const data::LmBatch &batch) const;
+
+  private:
+    WordLmConfig config_;
+    std::unique_ptr<graph::Graph> graph_;
+    graph::Val tokens_, labels_, loss_;
+    NamedWeights weights_;
+    std::vector<graph::Val> weight_grads_;
+    std::vector<graph::Val> fetches_;
+};
+
+} // namespace echo::models
+
+#endif // ECHO_MODELS_WORD_LM_H

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * The "Default" LSTM stack: MXNet-style unfused per-step cells.  Every
+ * step of every layer emits ~14 primitive nodes, so a 1-layer T=50 run
+ * launches hundreds of tiny kernels — the launch-bound profile of the
+ * paper's Fig. 7(a).
+ */
+#include "core/logging.h"
+#include "graph/ops/oplib.h"
+#include "rnn/stack.h"
+
+namespace echo::rnn {
+
+namespace ol = graph::oplib;
+
+LstmStack
+buildLstmStackDefault(Graph &g, Val x, const LstmSpec &spec,
+                      const std::string &prefix)
+{
+    const Shape &xs = graph::Graph::shapeOf(x);
+    ECHO_REQUIRE(xs.ndim() == 3, "LSTM stack input must be [TxBxI]");
+    const int64_t t = xs[0], b = xs[1];
+
+    LstmStack stack;
+    Val layer_in = x;
+    for (int64_t layer = 0; layer < spec.layers; ++layer) {
+        const int64_t in_size =
+            layer == 0 ? spec.input_size : spec.hidden;
+        const LstmWeights w = makeLstmWeights(
+            g, in_size, spec.hidden,
+            prefix + ".l" + std::to_string(layer));
+        stack.weights.push_back(w);
+
+        CellState state;
+        state.h = g.apply1(
+            ol::constant(Shape({b, spec.hidden}), 0.0f), {},
+            prefix + ".h0");
+        state.c = g.apply1(
+            ol::constant(Shape({b, spec.hidden}), 0.0f), {},
+            prefix + ".c0");
+
+        std::vector<Val> step_outputs;
+        step_outputs.reserve(static_cast<size_t>(t));
+        for (int64_t step = 0; step < t; ++step) {
+            g.setTimeStep(static_cast<int>(step));
+            const Val x_t = g.apply1(
+                ol::reshape(Shape({b, in_size})),
+                {g.apply1(ol::sliceOp(0, step, step + 1),
+                          {layer_in})});
+            state = buildLstmCell(g, x_t, state, w);
+            step_outputs.push_back(g.apply1(
+                ol::reshape(Shape({1, b, spec.hidden})), {state.h}));
+        }
+        g.setTimeStep(-1);
+
+        layer_in = g.apply1(ol::concat(0), step_outputs,
+                            prefix + ".hs.l" + std::to_string(layer));
+        stack.last_states.push_back(state);
+    }
+    stack.hs = layer_in;
+    return stack;
+}
+
+LstmStack
+buildLstmStack(Graph &g, Val x, const LstmSpec &spec, RnnBackend backend,
+               const std::string &prefix)
+{
+    switch (backend) {
+      case RnnBackend::kDefault:
+        return buildLstmStackDefault(g, x, spec, prefix);
+      case RnnBackend::kCudnn:
+      case RnnBackend::kEco:
+        return buildLstmStackFused(g, x, spec, backend, prefix);
+    }
+    ECHO_PANIC("unknown RNN backend");
+}
+
+} // namespace echo::rnn

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Fused LSTM stacks: one FusedLstmLayer node per layer.
+ *
+ * kCudnn lowers to cuDNN's kernel plan (batched input GEMM + per-step
+ * batch-major recurrent GEMM + fused point-wise kernels); kEco uses the
+ * paper's [T x H x B] layout, turning every projection into the fast
+ * transposed GEMM form.  Numerics are identical across all backends —
+ * tests/test_rnn.cc asserts Default ≡ CuDNN ≡ Eco.
+ */
+#include "core/logging.h"
+#include "graph/ops/op_fused_rnn.h"
+#include "graph/ops/oplib.h"
+#include "rnn/stack.h"
+
+namespace echo::rnn {
+
+namespace ol = graph::oplib;
+
+LstmStack
+buildLstmStackFused(Graph &g, Val x, const LstmSpec &spec,
+                    RnnBackend backend, const std::string &prefix)
+{
+    const Shape &xs = graph::Graph::shapeOf(x);
+    ECHO_REQUIRE(xs.ndim() == 3, "LSTM stack input must be [TxBxI]");
+    const int64_t b = xs[1];
+    const ol::FusedRnnStyle style = backend == RnnBackend::kEco
+                                        ? ol::FusedRnnStyle::kEco
+                                        : ol::FusedRnnStyle::kCudnn;
+
+    LstmStack stack;
+    Val layer_in = x;
+    for (int64_t layer = 0; layer < spec.layers; ++layer) {
+        const int64_t in_size =
+            layer == 0 ? spec.input_size : spec.hidden;
+        const LstmWeights w = makeLstmWeights(
+            g, in_size, spec.hidden,
+            prefix + ".l" + std::to_string(layer));
+        stack.weights.push_back(w);
+
+        const Val h0 = g.apply1(
+            ol::constant(Shape({b, spec.hidden}), 0.0f), {},
+            prefix + ".h0");
+        const Val c0 = g.apply1(
+            ol::constant(Shape({b, spec.hidden}), 0.0f), {},
+            prefix + ".c0");
+
+        const bool overlap =
+            backend == RnnBackend::kCudnn && spec.layers > 1;
+        const std::vector<Val> outs =
+            g.apply(ol::fusedLstmLayer(style, overlap),
+                    {layer_in, w.wx, w.wh, w.bias, h0, c0},
+                    prefix + ".fused.l" + std::to_string(layer));
+        layer_in = outs[0];
+        CellState last;
+        last.h = outs[1];
+        last.c = outs[2];
+        stack.last_states.push_back(last);
+    }
+    stack.hs = layer_in;
+    return stack;
+}
+
+} // namespace echo::rnn

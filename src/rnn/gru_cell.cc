@@ -1,0 +1,57 @@
+/**
+ * @file
+ * GRU stack builder (unfused).  The paper extends its data-layout
+ * argument to GRU (§4.2, Fig. 9b: 3 gates, W [3H x H]); this builder
+ * exists so tests and the layout benches can exercise GRU-shaped
+ * fully-connected layers end to end.
+ */
+#include "core/logging.h"
+#include "graph/ops/oplib.h"
+#include "rnn/gru_stack.h"
+
+namespace echo::rnn {
+
+namespace ol = graph::oplib;
+
+GruStack
+buildGruStack(Graph &g, Val x, const LstmSpec &spec,
+              const std::string &prefix)
+{
+    const Shape &xs = graph::Graph::shapeOf(x);
+    ECHO_REQUIRE(xs.ndim() == 3, "GRU stack input must be [TxBxI]");
+    const int64_t t = xs[0], b = xs[1];
+
+    GruStack stack;
+    Val layer_in = x;
+    for (int64_t layer = 0; layer < spec.layers; ++layer) {
+        const int64_t in_size =
+            layer == 0 ? spec.input_size : spec.hidden;
+        const GruWeights w = makeGruWeights(
+            g, in_size, spec.hidden,
+            prefix + ".l" + std::to_string(layer));
+        stack.weights.push_back(w);
+
+        Val h = g.apply1(
+            ol::constant(Shape({b, spec.hidden}), 0.0f), {},
+            prefix + ".h0");
+        std::vector<Val> step_outputs;
+        step_outputs.reserve(static_cast<size_t>(t));
+        for (int64_t step = 0; step < t; ++step) {
+            g.setTimeStep(static_cast<int>(step));
+            const Val x_t = g.apply1(
+                ol::reshape(Shape({b, in_size})),
+                {g.apply1(ol::sliceOp(0, step, step + 1),
+                          {layer_in})});
+            h = buildGruCell(g, x_t, h, w);
+            step_outputs.push_back(g.apply1(
+                ol::reshape(Shape({1, b, spec.hidden})), {h}));
+        }
+        g.setTimeStep(-1);
+        layer_in = g.apply1(ol::concat(0), step_outputs);
+        stack.last_h.push_back(h);
+    }
+    stack.hs = layer_in;
+    return stack;
+}
+
+} // namespace echo::rnn

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Multi-layer GRU stack (unfused), used by the GRU layout experiments
+ * and tests.
+ */
+#ifndef ECHO_RNN_GRU_STACK_H
+#define ECHO_RNN_GRU_STACK_H
+
+#include <vector>
+
+#include "rnn/lstm_cell.h"
+#include "rnn/rnn_config.h"
+
+namespace echo::rnn {
+
+/** A built GRU stack. */
+struct GruStack
+{
+    /** All hidden states of the top layer, [T x B x H]. */
+    Val hs;
+    /** Final hidden state of each layer. */
+    std::vector<Val> last_h;
+    /** The stack's weights (per layer). */
+    std::vector<GruWeights> weights;
+};
+
+/** Build a GRU stack over @p x ([T x B x I]) with zero initial state. */
+GruStack buildGruStack(Graph &g, Val x, const LstmSpec &spec,
+                       const std::string &prefix);
+
+} // namespace echo::rnn
+
+#endif // ECHO_RNN_GRU_STACK_H

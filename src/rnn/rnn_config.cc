@@ -1,0 +1,19 @@
+#include "rnn/rnn_config.h"
+
+namespace echo::rnn {
+
+const char *
+backendName(RnnBackend backend)
+{
+    switch (backend) {
+      case RnnBackend::kDefault:
+        return "Default";
+      case RnnBackend::kCudnn:
+        return "CuDNN";
+      case RnnBackend::kEco:
+        return "EcoRNN";
+    }
+    return "?";
+}
+
+} // namespace echo::rnn

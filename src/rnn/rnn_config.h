@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Common configuration types for the RNN library: the three backend
+ * implementations the paper compares and the hyperparameter bundle of
+ * its LSTM microbenchmarks (§6.3).
+ */
+#ifndef ECHO_RNN_RNN_CONFIG_H
+#define ECHO_RNN_RNN_CONFIG_H
+
+#include <cstdint>
+#include <string>
+
+namespace echo::rnn {
+
+/**
+ * LSTM backend implementations:
+ *  - kDefault: MXNet's unfused per-step graph of primitive ops (many
+ *    tiny kernels, launch-bound — Fig. 7a left),
+ *  - kCudnn: the fused cuDNN-style layer op (batched input GEMM, fused
+ *    point-wise kernels, batch-major recurrent GEMM),
+ *  - kEco: the fused op with the paper's [T x H x B] data-layout
+ *    optimization (transposed-form GEMMs).
+ */
+enum class RnnBackend { kDefault, kCudnn, kEco };
+
+/** Printable backend name matching the paper's terminology. */
+const char *backendName(RnnBackend backend);
+
+/** Hyperparameters of one LSTM stack instantiation. */
+struct LstmSpec
+{
+    int64_t input_size = 0;
+    int64_t hidden = 0;
+    int64_t layers = 1;
+    int64_t batch = 0;
+    int64_t seq_len = 0;
+};
+
+} // namespace echo::rnn
+
+#endif // ECHO_RNN_RNN_CONFIG_H

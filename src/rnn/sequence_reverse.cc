@@ -1,0 +1,14 @@
+#include "rnn/sequence_reverse.h"
+
+#include "graph/ops/oplib.h"
+
+namespace echo::rnn {
+
+graph::Val
+sequenceReverse(graph::Graph &g, graph::Val x, bool parallel)
+{
+    return g.apply1(graph::oplib::reverseAxis(0, parallel), {x},
+                    "sequence_reverse");
+}
+
+} // namespace echo::rnn

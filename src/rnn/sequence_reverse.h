@@ -1,0 +1,22 @@
+/**
+ * @file
+ * SequenceReverse (paper §5.1): reverses [T x B x H] data along time.
+ *
+ * Two implementations exist that are numerically identical but model
+ * different GPU kernels: MXNet's original batch-sequential kernel
+ * (uncoalesced, ~1 GB/s effective bandwidth — the runtime bottleneck of
+ * Fig. 6) and the paper's batch-parallel fix.
+ */
+#ifndef ECHO_RNN_SEQUENCE_REVERSE_H
+#define ECHO_RNN_SEQUENCE_REVERSE_H
+
+#include "graph/graph.h"
+
+namespace echo::rnn {
+
+/** Reverse @p x along the leading (time) axis. */
+graph::Val sequenceReverse(graph::Graph &g, graph::Val x, bool parallel);
+
+} // namespace echo::rnn
+
+#endif // ECHO_RNN_SEQUENCE_REVERSE_H

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Multi-layer LSTM stack builder: the single entry point the models use,
+ * dispatching to the unfused Default backend (default_backend.cc) or the
+ * fused cuDNN / Eco backends (fused_backend.cc).
+ */
+#ifndef ECHO_RNN_STACK_H
+#define ECHO_RNN_STACK_H
+
+#include <vector>
+
+#include "rnn/lstm_cell.h"
+#include "rnn/rnn_config.h"
+
+namespace echo::rnn {
+
+/** A built LSTM stack. */
+struct LstmStack
+{
+    /** All hidden states of the top layer, [T x B x H]. */
+    Val hs;
+    /** Final hidden / cell state of each layer. */
+    std::vector<CellState> last_states;
+    /** The stack's weights (per layer). */
+    std::vector<LstmWeights> weights;
+};
+
+/**
+ * Build an LSTM stack over @p x ([T x B x I]) with zero initial state.
+ * Weight nodes are created inside with names "<prefix>.l<i>.*".
+ */
+LstmStack buildLstmStack(Graph &g, Val x, const LstmSpec &spec,
+                         RnnBackend backend, const std::string &prefix);
+
+/** Internal: the unfused per-step implementation (Default). */
+LstmStack buildLstmStackDefault(Graph &g, Val x, const LstmSpec &spec,
+                                const std::string &prefix);
+
+/** Internal: the fused implementation (CuDNN or Eco kernel styles). */
+LstmStack buildLstmStackFused(Graph &g, Val x, const LstmSpec &spec,
+                              RnnBackend backend,
+                              const std::string &prefix);
+
+} // namespace echo::rnn
+
+#endif // ECHO_RNN_STACK_H

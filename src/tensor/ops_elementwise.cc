@@ -1,0 +1,286 @@
+#include <cmath>
+
+#include "core/logging.h"
+#include "tensor/ops.h"
+
+namespace echo::ops {
+
+namespace {
+
+/** Apply a binary functor element-wise; shapes must match exactly. */
+template <typename F>
+Tensor
+zipWith(const Tensor &a, const Tensor &b, F f, const char *what)
+{
+    ECHO_REQUIRE(a.shape() == b.shape(), what, ": shape mismatch ",
+                 a.shape().toString(), " vs ", b.shape().toString());
+    Tensor c(a.shape());
+    const float *pa = a.data();
+    const float *pb = b.data();
+    float *pc = c.data();
+    const int64_t n = a.numel();
+    for (int64_t i = 0; i < n; ++i)
+        pc[i] = f(pa[i], pb[i]);
+    return c;
+}
+
+/** Apply a unary functor element-wise. */
+template <typename F>
+Tensor
+mapWith(const Tensor &a, F f)
+{
+    Tensor c(a.shape());
+    const float *pa = a.data();
+    float *pc = c.data();
+    const int64_t n = a.numel();
+    for (int64_t i = 0; i < n; ++i)
+        pc[i] = f(pa[i]);
+    return c;
+}
+
+} // namespace
+
+Tensor
+add(const Tensor &a, const Tensor &b)
+{
+    return zipWith(a, b, [](float x, float y) { return x + y; }, "add");
+}
+
+Tensor
+sub(const Tensor &a, const Tensor &b)
+{
+    return zipWith(a, b, [](float x, float y) { return x - y; }, "sub");
+}
+
+Tensor
+mul(const Tensor &a, const Tensor &b)
+{
+    return zipWith(a, b, [](float x, float y) { return x * y; }, "mul");
+}
+
+Tensor
+axpy(const Tensor &a, const Tensor &b, float alpha)
+{
+    return zipWith(a, b,
+                   [alpha](float x, float y) { return x + alpha * y; },
+                   "axpy");
+}
+
+Tensor
+addScalar(const Tensor &a, float s)
+{
+    return mapWith(a, [s](float x) { return x + s; });
+}
+
+Tensor
+mulScalar(const Tensor &a, float s)
+{
+    return mapWith(a, [s](float x) { return x * s; });
+}
+
+Tensor
+tanh(const Tensor &a)
+{
+    return mapWith(a, [](float x) { return std::tanh(x); });
+}
+
+Tensor
+sigmoid(const Tensor &a)
+{
+    return mapWith(a, [](float x) {
+        return 1.0f / (1.0f + std::exp(-x));
+    });
+}
+
+Tensor
+relu(const Tensor &a)
+{
+    return mapWith(a, [](float x) { return x > 0.0f ? x : 0.0f; });
+}
+
+Tensor
+square(const Tensor &a)
+{
+    return mapWith(a, [](float x) { return x * x; });
+}
+
+Tensor
+negate(const Tensor &a)
+{
+    return mapWith(a, [](float x) { return -x; });
+}
+
+void
+accumulateInto(Tensor &dst, const Tensor &src)
+{
+    ECHO_REQUIRE(dst.shape() == src.shape(),
+                 "accumulateInto shape mismatch");
+    float *pd = dst.data();
+    const float *ps = src.data();
+    const int64_t n = dst.numel();
+    for (int64_t i = 0; i < n; ++i)
+        pd[i] += ps[i];
+}
+
+Tensor
+addBias(const Tensor &a, const Tensor &bias)
+{
+    ECHO_REQUIRE(bias.shape().ndim() == 1, "bias must be 1-D");
+    const int64_t n = bias.shape()[0];
+    ECHO_REQUIRE(a.shape().dim(-1) == n, "bias length mismatch");
+    Tensor c(a.shape());
+    const float *pa = a.data();
+    const float *pb = bias.data();
+    float *pc = c.data();
+    const int64_t rows = a.numel() / n;
+    for (int64_t r = 0; r < rows; ++r)
+        for (int64_t j = 0; j < n; ++j)
+            pc[r * n + j] = pa[r * n + j] + pb[j];
+    return c;
+}
+
+Tensor
+sumToBias(const Tensor &a, int64_t n)
+{
+    ECHO_REQUIRE(a.shape().dim(-1) == n, "sumToBias length mismatch");
+    Tensor c = Tensor::zeros(Shape({n}));
+    const float *pa = a.data();
+    float *pc = c.data();
+    const int64_t rows = a.numel() / n;
+    for (int64_t r = 0; r < rows; ++r)
+        for (int64_t j = 0; j < n; ++j)
+            pc[j] += pa[r * n + j];
+    return c;
+}
+
+Tensor
+broadcastAddBT(const Tensor &x, const Tensor &q)
+{
+    ECHO_REQUIRE(x.shape().ndim() == 3 && q.shape().ndim() == 2,
+                 "broadcastAddBT expects [BxTxH] and [BxH]");
+    const int64_t b = x.shape()[0];
+    const int64_t t = x.shape()[1];
+    const int64_t h = x.shape()[2];
+    ECHO_REQUIRE(q.shape()[0] == b && q.shape()[1] == h,
+                 "broadcastAddBT operand mismatch");
+    Tensor c(x.shape());
+    for (int64_t i = 0; i < b; ++i) {
+        const float *pq = q.data() + i * h;
+        for (int64_t s = 0; s < t; ++s) {
+            const float *px = x.data() + (i * t + s) * h;
+            float *pc = c.data() + (i * t + s) * h;
+            for (int64_t j = 0; j < h; ++j)
+                pc[j] = px[j] + pq[j];
+        }
+    }
+    return c;
+}
+
+Tensor
+sumAxis1(const Tensor &x)
+{
+    ECHO_REQUIRE(x.shape().ndim() == 3, "sumAxis1 expects 3-D");
+    const int64_t b = x.shape()[0];
+    const int64_t t = x.shape()[1];
+    const int64_t h = x.shape()[2];
+    Tensor c = Tensor::zeros(Shape({b, h}));
+    for (int64_t i = 0; i < b; ++i)
+        for (int64_t s = 0; s < t; ++s)
+            for (int64_t j = 0; j < h; ++j)
+                c.data()[i * h + j] += x.data()[(i * t + s) * h + j];
+    return c;
+}
+
+Tensor
+sumLastAxis(const Tensor &x)
+{
+    ECHO_REQUIRE(x.shape().ndim() >= 1, "sumLastAxis needs >= 1-D");
+    const int64_t n = x.shape().dim(-1);
+    const int64_t rows = x.numel() / n;
+    Shape out_shape = x.shape().dropAxis(x.shape().ndim() - 1);
+    if (out_shape.ndim() == 0)
+        out_shape = Shape({1});
+    Tensor c = Tensor::zeros(out_shape);
+    for (int64_t r = 0; r < rows; ++r) {
+        double acc = 0.0;
+        for (int64_t j = 0; j < n; ++j)
+            acc += x.data()[r * n + j];
+        c.data()[r] = static_cast<float>(acc);
+    }
+    return c;
+}
+
+Tensor
+dotLastAxis(const Tensor &x, const Tensor &v)
+{
+    ECHO_REQUIRE(v.shape().ndim() == 1, "dotLastAxis: v must be 1-D");
+    const int64_t h = v.shape()[0];
+    ECHO_REQUIRE(x.shape().dim(-1) == h, "dotLastAxis length mismatch");
+    const int64_t rows = x.numel() / h;
+    Shape out_shape = x.shape().dropAxis(x.shape().ndim() - 1);
+    Tensor c(out_shape);
+    for (int64_t r = 0; r < rows; ++r) {
+        double acc = 0.0;
+        for (int64_t j = 0; j < h; ++j)
+            acc += x.data()[r * h + j] * v.data()[j];
+        c.data()[r] = static_cast<float>(acc);
+    }
+    return c;
+}
+
+Tensor
+outerLastAxis(const Tensor &s, const Tensor &v)
+{
+    ECHO_REQUIRE(v.shape().ndim() == 1, "outerLastAxis: v must be 1-D");
+    const int64_t h = v.shape()[0];
+    const int64_t rows = s.numel();
+    Shape out_shape = s.shape().insertAxis(s.shape().ndim(), h);
+    Tensor c(out_shape);
+    for (int64_t r = 0; r < rows; ++r)
+        for (int64_t j = 0; j < h; ++j)
+            c.data()[r * h + j] = s.data()[r] * v.data()[j];
+    return c;
+}
+
+Tensor
+scaleRowsBT(const Tensor &x, const Tensor &w)
+{
+    ECHO_REQUIRE(x.shape().ndim() == 3 && w.shape().ndim() == 2,
+                 "scaleRowsBT expects [BxTxH] and [BxT]");
+    const int64_t b = x.shape()[0];
+    const int64_t t = x.shape()[1];
+    const int64_t h = x.shape()[2];
+    ECHO_REQUIRE(w.shape()[0] == b && w.shape()[1] == t,
+                 "scaleRowsBT weight mismatch");
+    Tensor c(x.shape());
+    for (int64_t i = 0; i < b; ++i)
+        for (int64_t s = 0; s < t; ++s) {
+            const float ws = w.data()[i * t + s];
+            for (int64_t j = 0; j < h; ++j)
+                c.data()[(i * t + s) * h + j] =
+                    ws * x.data()[(i * t + s) * h + j];
+        }
+    return c;
+}
+
+Tensor
+rowDotBT(const Tensor &a, const Tensor &b)
+{
+    ECHO_REQUIRE(a.shape().ndim() == 3 && a.shape() == b.shape(),
+                 "rowDotBT expects matching [BxTxH]");
+    const int64_t bsz = a.shape()[0];
+    const int64_t t = a.shape()[1];
+    const int64_t h = a.shape()[2];
+    Tensor c(Shape({bsz, t}));
+    for (int64_t i = 0; i < bsz; ++i)
+        for (int64_t s = 0; s < t; ++s) {
+            double acc = 0.0;
+            const int64_t base = (i * t + s) * h;
+            for (int64_t j = 0; j < h; ++j)
+                acc += a.data()[base + j] * b.data()[base + j];
+            c.data()[i * t + s] = static_cast<float>(acc);
+        }
+    return c;
+}
+
+} // namespace echo::ops

@@ -1,0 +1,100 @@
+#include <cstring>
+
+#include "core/logging.h"
+#include "tensor/ops.h"
+
+namespace echo::ops {
+
+namespace {
+
+/**
+ * Inner GEMM kernel over raw pointers: C[M x N] += A' * B' where A' is
+ * A optionally transposed ([M x K] logical) and likewise B' ([K x N]).
+ * Plain ikj loop — correctness over speed; the GPU model provides timing.
+ */
+void
+gemmKernel(const float *a, bool trans_a, const float *b, bool trans_b,
+           float *c, int64_t m, int64_t n, int64_t k, float alpha)
+{
+    for (int64_t i = 0; i < m; ++i) {
+        for (int64_t p = 0; p < k; ++p) {
+            const float av =
+                alpha * (trans_a ? a[p * m + i] : a[i * k + p]);
+            if (av == 0.0f)
+                continue;
+            const float *brow = trans_b ? b + p : b + p * n;
+            float *crow = c + i * n;
+            if (trans_b) {
+                for (int64_t j = 0; j < n; ++j)
+                    crow[j] += av * brow[j * k];
+            } else {
+                for (int64_t j = 0; j < n; ++j)
+                    crow[j] += av * brow[j];
+            }
+        }
+    }
+}
+
+} // namespace
+
+Tensor
+gemm(const Tensor &a, bool trans_a, const Tensor &b, bool trans_b,
+     float alpha)
+{
+    ECHO_REQUIRE(a.shape().ndim() == 2 && b.shape().ndim() == 2,
+                 "gemm needs 2-D operands, got ", a.shape().toString(),
+                 " and ", b.shape().toString());
+    const int64_t m = trans_a ? a.shape()[1] : a.shape()[0];
+    const int64_t k = trans_a ? a.shape()[0] : a.shape()[1];
+    const int64_t kb = trans_b ? b.shape()[1] : b.shape()[0];
+    const int64_t n = trans_b ? b.shape()[0] : b.shape()[1];
+    ECHO_REQUIRE(k == kb, "gemm inner dimensions mismatch: ",
+                 a.shape().toString(), (trans_a ? "^T" : ""), " * ",
+                 b.shape().toString(), (trans_b ? "^T" : ""));
+
+    Tensor c = Tensor::zeros(Shape({m, n}));
+    gemmKernel(a.data(), trans_a, b.data(), trans_b, c.data(), m, n, k,
+               alpha);
+    return c;
+}
+
+Tensor
+bmm(const Tensor &a, bool trans_a, const Tensor &b, bool trans_b)
+{
+    ECHO_REQUIRE(a.shape().ndim() == 3 && b.shape().ndim() == 3,
+                 "bmm needs 3-D operands");
+    const int64_t batch = a.shape()[0];
+    ECHO_REQUIRE(batch == b.shape()[0], "bmm batch mismatch");
+    const int64_t m = trans_a ? a.shape()[2] : a.shape()[1];
+    const int64_t k = trans_a ? a.shape()[1] : a.shape()[2];
+    const int64_t kb = trans_b ? b.shape()[2] : b.shape()[1];
+    const int64_t n = trans_b ? b.shape()[1] : b.shape()[2];
+    ECHO_REQUIRE(k == kb, "bmm inner dimensions mismatch");
+
+    Tensor c = Tensor::zeros(Shape({batch, m, n}));
+    const int64_t a_stride = a.shape()[1] * a.shape()[2];
+    const int64_t b_stride = b.shape()[1] * b.shape()[2];
+    const int64_t c_stride = m * n;
+    for (int64_t i = 0; i < batch; ++i) {
+        gemmKernel(a.data() + i * a_stride, trans_a,
+                   b.data() + i * b_stride, trans_b,
+                   c.data() + i * c_stride, m, n, k, 1.0f);
+    }
+    return c;
+}
+
+Tensor
+outer(const Tensor &u, const Tensor &v)
+{
+    ECHO_REQUIRE(u.shape().ndim() == 1 && v.shape().ndim() == 1,
+                 "outer needs vectors");
+    const int64_t m = u.shape()[0];
+    const int64_t n = v.shape()[0];
+    Tensor c(Shape({m, n}));
+    for (int64_t i = 0; i < m; ++i)
+        for (int64_t j = 0; j < n; ++j)
+            c.data()[i * n + j] = u.data()[i] * v.data()[j];
+    return c;
+}
+
+} // namespace echo::ops

@@ -1,0 +1,187 @@
+#include <cmath>
+
+#include "core/logging.h"
+#include "tensor/ops.h"
+
+namespace echo::ops {
+
+Tensor
+softmaxLastAxis(const Tensor &a)
+{
+    const int64_t n = a.shape().dim(-1);
+    const int64_t rows = a.numel() / n;
+    Tensor c(a.shape());
+    for (int64_t r = 0; r < rows; ++r) {
+        const float *src = a.data() + r * n;
+        float *dst = c.data() + r * n;
+        float mx = src[0];
+        for (int64_t j = 1; j < n; ++j)
+            mx = std::max(mx, src[j]);
+        double denom = 0.0;
+        for (int64_t j = 0; j < n; ++j) {
+            dst[j] = std::exp(src[j] - mx);
+            denom += dst[j];
+        }
+        const float inv = static_cast<float>(1.0 / denom);
+        for (int64_t j = 0; j < n; ++j)
+            dst[j] *= inv;
+    }
+    return c;
+}
+
+Tensor
+logSoftmaxLastAxis(const Tensor &a)
+{
+    const int64_t n = a.shape().dim(-1);
+    const int64_t rows = a.numel() / n;
+    Tensor c(a.shape());
+    for (int64_t r = 0; r < rows; ++r) {
+        const float *src = a.data() + r * n;
+        float *dst = c.data() + r * n;
+        float mx = src[0];
+        for (int64_t j = 1; j < n; ++j)
+            mx = std::max(mx, src[j]);
+        double denom = 0.0;
+        for (int64_t j = 0; j < n; ++j)
+            denom += std::exp(src[j] - mx);
+        const float log_denom = static_cast<float>(std::log(denom)) + mx;
+        for (int64_t j = 0; j < n; ++j)
+            dst[j] = src[j] - log_denom;
+    }
+    return c;
+}
+
+namespace {
+
+/** Count the non-padding labels (label >= 0). */
+int64_t
+countValidLabels(const Tensor &labels)
+{
+    int64_t valid = 0;
+    for (int64_t i = 0; i < labels.numel(); ++i)
+        if (labels.data()[i] >= 0.0f)
+            ++valid;
+    return valid;
+}
+
+} // namespace
+
+Tensor
+crossEntropy(const Tensor &logits, const Tensor &labels)
+{
+    ECHO_REQUIRE(logits.shape().ndim() == 2, "crossEntropy wants [N x V]");
+    const int64_t n = logits.shape()[0];
+    const int64_t v = logits.shape()[1];
+    ECHO_REQUIRE(labels.numel() == n, "label count mismatch");
+
+    const Tensor logp = logSoftmaxLastAxis(logits);
+    double loss = 0.0;
+    const int64_t valid = countValidLabels(labels);
+    for (int64_t i = 0; i < n; ++i) {
+        const float lf = labels.data()[i];
+        if (lf < 0.0f)
+            continue;
+        const int64_t label = static_cast<int64_t>(lf);
+        ECHO_REQUIRE(label < v, "label ", label, " out of vocab ", v);
+        loss -= logp.data()[i * v + label];
+    }
+    Tensor out(Shape({1}));
+    out.data()[0] =
+        static_cast<float>(valid > 0 ? loss / static_cast<double>(valid)
+                                     : 0.0);
+    return out;
+}
+
+Tensor
+crossEntropyGrad(const Tensor &logits, const Tensor &labels)
+{
+    const int64_t n = logits.shape()[0];
+    const int64_t v = logits.shape()[1];
+    Tensor grad = softmaxLastAxis(logits);
+    const int64_t valid = countValidLabels(labels);
+    const float scale =
+        valid > 0 ? 1.0f / static_cast<float>(valid) : 0.0f;
+    for (int64_t i = 0; i < n; ++i) {
+        const float lf = labels.data()[i];
+        if (lf < 0.0f) {
+            for (int64_t j = 0; j < v; ++j)
+                grad.data()[i * v + j] = 0.0f;
+            continue;
+        }
+        const int64_t label = static_cast<int64_t>(lf);
+        grad.data()[i * v + label] -= 1.0f;
+        for (int64_t j = 0; j < v; ++j)
+            grad.data()[i * v + j] *= scale;
+    }
+    return grad;
+}
+
+Tensor
+layerNormLastAxis(const Tensor &a, float eps)
+{
+    const int64_t n = a.shape().dim(-1);
+    const int64_t rows = a.numel() / n;
+    Tensor c(a.shape());
+    for (int64_t r = 0; r < rows; ++r) {
+        const float *src = a.data() + r * n;
+        float *dst = c.data() + r * n;
+        double mean = 0.0;
+        for (int64_t j = 0; j < n; ++j)
+            mean += src[j];
+        mean /= static_cast<double>(n);
+        double var = 0.0;
+        for (int64_t j = 0; j < n; ++j) {
+            const double d = src[j] - mean;
+            var += d * d;
+        }
+        var /= static_cast<double>(n);
+        const float rstd =
+            static_cast<float>(1.0 / std::sqrt(var + eps));
+        for (int64_t j = 0; j < n; ++j)
+            dst[j] = (src[j] - static_cast<float>(mean)) * rstd;
+    }
+    return c;
+}
+
+Tensor
+embeddingLookup(const Tensor &table, const Tensor &ids)
+{
+    ECHO_REQUIRE(table.shape().ndim() == 2, "embedding table is [V x H]");
+    const int64_t v = table.shape()[0];
+    const int64_t h = table.shape()[1];
+    Shape out_shape = ids.shape().insertAxis(ids.shape().ndim(), h);
+    Tensor c(out_shape);
+    for (int64_t i = 0; i < ids.numel(); ++i) {
+        float idf = ids.data()[i];
+        int64_t id = idf < 0.0f ? 0 : static_cast<int64_t>(idf);
+        ECHO_REQUIRE(id < v, "token id ", id, " out of vocab ", v);
+        const float *src = table.data() + id * h;
+        float *dst = c.data() + i * h;
+        for (int64_t j = 0; j < h; ++j)
+            dst[j] = idf < 0.0f ? 0.0f : src[j];
+    }
+    return c;
+}
+
+Tensor
+embeddingGrad(const Tensor &table, const Tensor &ids,
+              const Tensor &out_grad)
+{
+    const int64_t h = table.shape()[1];
+    ECHO_REQUIRE(out_grad.numel() == ids.numel() * h,
+                 "embeddingGrad size mismatch");
+    Tensor grad = Tensor::zeros(table.shape());
+    for (int64_t i = 0; i < ids.numel(); ++i) {
+        const float idf = ids.data()[i];
+        if (idf < 0.0f)
+            continue;
+        const int64_t id = static_cast<int64_t>(idf);
+        float *dst = grad.data() + id * h;
+        const float *src = out_grad.data() + i * h;
+        for (int64_t j = 0; j < h; ++j)
+            dst[j] += src[j];
+    }
+    return grad;
+}
+
+} // namespace echo::ops

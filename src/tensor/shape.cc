@@ -1,0 +1,76 @@
+#include "tensor/shape.h"
+
+#include <sstream>
+
+#include "core/logging.h"
+
+namespace echo {
+
+Shape::Shape(std::initializer_list<int64_t> dims) : dims_(dims)
+{
+    for (int64_t d : dims_)
+        ECHO_REQUIRE(d >= 0, "negative dimension in shape");
+}
+
+Shape::Shape(std::vector<int64_t> dims) : dims_(std::move(dims))
+{
+    for (int64_t d : dims_)
+        ECHO_REQUIRE(d >= 0, "negative dimension in shape");
+}
+
+int
+Shape::normalizeAxis(int axis) const
+{
+    const int n = ndim();
+    if (axis < 0)
+        axis += n;
+    ECHO_CHECK(axis >= 0 && axis < n, "axis ", axis, " out of range for ",
+               toString());
+    return axis;
+}
+
+int64_t
+Shape::dim(int axis) const
+{
+    return dims_[static_cast<size_t>(normalizeAxis(axis))];
+}
+
+int64_t
+Shape::numel() const
+{
+    int64_t n = 1;
+    for (int64_t d : dims_)
+        n *= d;
+    return n;
+}
+
+Shape
+Shape::dropAxis(int axis) const
+{
+    const int a = normalizeAxis(axis);
+    std::vector<int64_t> out = dims_;
+    out.erase(out.begin() + a);
+    return Shape(std::move(out));
+}
+
+Shape
+Shape::insertAxis(int axis, int64_t n) const
+{
+    ECHO_CHECK(axis >= 0 && axis <= ndim(), "bad insert axis");
+    std::vector<int64_t> out = dims_;
+    out.insert(out.begin() + axis, n);
+    return Shape(std::move(out));
+}
+
+std::string
+Shape::toString() const
+{
+    std::ostringstream oss;
+    oss << "[";
+    for (size_t i = 0; i < dims_.size(); ++i)
+        oss << dims_[i] << (i + 1 == dims_.size() ? "" : "x");
+    oss << "]";
+    return oss.str();
+}
+
+} // namespace echo

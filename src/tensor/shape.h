@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Tensor shape: an ordered list of dimension extents.
+ *
+ * Shapes are value types used pervasively by the tensor ops, the graph
+ * IR's shape inference, and the memory planner (a value's footprint is
+ * numel() * sizeof(float)).
+ */
+#ifndef ECHO_TENSOR_SHAPE_H
+#define ECHO_TENSOR_SHAPE_H
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace echo {
+
+/** An N-dimensional tensor shape (extents only; layout is separate). */
+class Shape
+{
+  public:
+    Shape() = default;
+
+    /** Construct from a braced list, e.g.\ Shape({B, T, H}). */
+    Shape(std::initializer_list<int64_t> dims);
+
+    /** Construct from a vector of extents. */
+    explicit Shape(std::vector<int64_t> dims);
+
+    /** Number of dimensions. */
+    int ndim() const { return static_cast<int>(dims_.size()); }
+
+    /** Extent of dimension @p axis; negative axes count from the back. */
+    int64_t dim(int axis) const;
+
+    /** Extent of dimension @p axis (no negative axes, unchecked style). */
+    int64_t operator[](int axis) const { return dim(axis); }
+
+    /** Total number of elements (1 for a scalar shape). */
+    int64_t numel() const;
+
+    /** Size in bytes assuming FP32 elements. */
+    int64_t bytes() const { return numel() * 4; }
+
+    /** All extents. */
+    const std::vector<int64_t> &dims() const { return dims_; }
+
+    /** Shape with @p axis removed. */
+    Shape dropAxis(int axis) const;
+
+    /** Shape with extent @p n inserted before @p axis. */
+    Shape insertAxis(int axis, int64_t n) const;
+
+    /** True when both shapes have identical extents. */
+    bool operator==(const Shape &other) const { return dims_ == other.dims_; }
+    bool operator!=(const Shape &other) const { return !(*this == other); }
+
+    /** Render as "[2x3x4]". */
+    std::string toString() const;
+
+  private:
+    std::vector<int64_t> dims_;
+
+    /** Normalize a possibly negative axis and bounds-check it. */
+    int normalizeAxis(int axis) const;
+};
+
+} // namespace echo
+
+#endif // ECHO_TENSOR_SHAPE_H

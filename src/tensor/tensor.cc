@@ -1,0 +1,176 @@
+#include "tensor/tensor.h"
+
+#include <cmath>
+
+#include "core/logging.h"
+#include "core/rng.h"
+
+namespace echo {
+
+Tensor::Tensor(Shape shape)
+    : storage_(std::make_shared<std::vector<float>>(
+          static_cast<size_t>(shape.numel()))),
+      shape_(std::move(shape))
+{
+}
+
+Tensor::Tensor(Shape shape, float value)
+    : storage_(std::make_shared<std::vector<float>>(
+          static_cast<size_t>(shape.numel()), value)),
+      shape_(std::move(shape))
+{
+}
+
+Tensor::Tensor(Shape shape, std::vector<float> values)
+    : storage_(std::make_shared<std::vector<float>>(std::move(values))),
+      shape_(std::move(shape))
+{
+    ECHO_REQUIRE(static_cast<int64_t>(storage_->size()) == shape_.numel(),
+                 "value count ", storage_->size(), " != shape ",
+                 shape_.toString());
+}
+
+Tensor
+Tensor::zeros(Shape shape)
+{
+    return Tensor(std::move(shape), 0.0f);
+}
+
+Tensor
+Tensor::full(Shape shape, float value)
+{
+    return Tensor(std::move(shape), value);
+}
+
+Tensor
+Tensor::uniform(Shape shape, Rng &rng, float lo, float hi)
+{
+    Tensor t(std::move(shape));
+    float *p = t.data();
+    const int64_t n = t.numel();
+    for (int64_t i = 0; i < n; ++i)
+        p[i] = static_cast<float>(rng.uniform(lo, hi));
+    return t;
+}
+
+Tensor
+Tensor::gaussian(Shape shape, Rng &rng, float mean, float stddev)
+{
+    Tensor t(std::move(shape));
+    float *p = t.data();
+    const int64_t n = t.numel();
+    for (int64_t i = 0; i < n; ++i)
+        p[i] = static_cast<float>(rng.gaussian(mean, stddev));
+    return t;
+}
+
+float *
+Tensor::data()
+{
+    ECHO_CHECK(storage_, "access to undefined tensor");
+    return storage_->data();
+}
+
+const float *
+Tensor::data() const
+{
+    ECHO_CHECK(storage_, "access to undefined tensor");
+    return storage_->data();
+}
+
+float &
+Tensor::at(int64_t i)
+{
+    ECHO_CHECK(i >= 0 && i < numel(), "flat index out of range");
+    return data()[i];
+}
+
+float
+Tensor::at(int64_t i) const
+{
+    ECHO_CHECK(i >= 0 && i < numel(), "flat index out of range");
+    return data()[i];
+}
+
+float &
+Tensor::at(int64_t i, int64_t j)
+{
+    ECHO_CHECK(shape_.ndim() == 2, "2-D access on ", shape_.toString());
+    return data()[i * shape_[1] + j];
+}
+
+float
+Tensor::at(int64_t i, int64_t j) const
+{
+    ECHO_CHECK(shape_.ndim() == 2, "2-D access on ", shape_.toString());
+    return data()[i * shape_[1] + j];
+}
+
+float &
+Tensor::at(int64_t i, int64_t j, int64_t k)
+{
+    ECHO_CHECK(shape_.ndim() == 3, "3-D access on ", shape_.toString());
+    return data()[(i * shape_[1] + j) * shape_[2] + k];
+}
+
+float
+Tensor::at(int64_t i, int64_t j, int64_t k) const
+{
+    ECHO_CHECK(shape_.ndim() == 3, "3-D access on ", shape_.toString());
+    return data()[(i * shape_[1] + j) * shape_[2] + k];
+}
+
+Tensor
+Tensor::reshape(Shape new_shape) const
+{
+    ECHO_REQUIRE(new_shape.numel() == numel(), "reshape ",
+                 shape_.toString(), " -> ", new_shape.toString(),
+                 " changes element count");
+    Tensor t;
+    t.storage_ = storage_;
+    t.shape_ = std::move(new_shape);
+    return t;
+}
+
+Tensor
+Tensor::clone() const
+{
+    Tensor t;
+    if (storage_)
+        t.storage_ = std::make_shared<std::vector<float>>(*storage_);
+    t.shape_ = shape_;
+    return t;
+}
+
+void
+Tensor::fill(float value)
+{
+    float *p = data();
+    const int64_t n = numel();
+    for (int64_t i = 0; i < n; ++i)
+        p[i] = value;
+}
+
+double
+Tensor::sum() const
+{
+    const float *p = data();
+    const int64_t n = numel();
+    double acc = 0.0;
+    for (int64_t i = 0; i < n; ++i)
+        acc += p[i];
+    return acc;
+}
+
+bool
+Tensor::allFinite() const
+{
+    const float *p = data();
+    const int64_t n = numel();
+    for (int64_t i = 0; i < n; ++i)
+        if (!std::isfinite(p[i]))
+            return false;
+    return true;
+}
+
+} // namespace echo

@@ -1,0 +1,94 @@
+#include "train/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "core/logging.h"
+
+namespace echo::train {
+
+double
+perplexity(double mean_nll)
+{
+    return std::exp(std::min(mean_nll, 20.0));
+}
+
+namespace {
+
+/** Count n-grams of @p order in @p seq. */
+std::map<std::vector<int64_t>, int64_t>
+ngramCounts(const std::vector<int64_t> &seq, int order)
+{
+    std::map<std::vector<int64_t>, int64_t> counts;
+    if (static_cast<int>(seq.size()) < order)
+        return counts;
+    for (size_t i = 0; i + static_cast<size_t>(order) <= seq.size();
+         ++i) {
+        std::vector<int64_t> gram(
+            seq.begin() + static_cast<long>(i),
+            seq.begin() + static_cast<long>(i) + order);
+        ++counts[gram];
+    }
+    return counts;
+}
+
+} // namespace
+
+double
+corpusBleu(const std::vector<std::vector<int64_t>> &hypotheses,
+           const std::vector<std::vector<int64_t>> &references,
+           int max_order)
+{
+    ECHO_REQUIRE(hypotheses.size() == references.size(),
+                 "BLEU needs matching hypothesis/reference counts");
+    if (hypotheses.empty())
+        return 0.0;
+
+    int64_t hyp_len = 0, ref_len = 0;
+    std::vector<int64_t> matches(static_cast<size_t>(max_order), 0);
+    std::vector<int64_t> totals(static_cast<size_t>(max_order), 0);
+
+    for (size_t s = 0; s < hypotheses.size(); ++s) {
+        const auto &hyp = hypotheses[s];
+        const auto &ref = references[s];
+        hyp_len += static_cast<int64_t>(hyp.size());
+        ref_len += static_cast<int64_t>(ref.size());
+        for (int order = 1; order <= max_order; ++order) {
+            const auto hyp_counts = ngramCounts(hyp, order);
+            const auto ref_counts = ngramCounts(ref, order);
+            for (const auto &[gram, count] : hyp_counts) {
+                auto it = ref_counts.find(gram);
+                const int64_t clipped =
+                    it == ref_counts.end()
+                        ? 0
+                        : std::min(count, it->second);
+                matches[static_cast<size_t>(order - 1)] += clipped;
+            }
+            const int64_t n =
+                static_cast<int64_t>(hyp.size()) - order + 1;
+            totals[static_cast<size_t>(order - 1)] +=
+                std::max<int64_t>(0, n);
+        }
+    }
+
+    double log_precision_sum = 0.0;
+    for (int order = 0; order < max_order; ++order) {
+        const size_t o = static_cast<size_t>(order);
+        if (totals[o] == 0 || matches[o] == 0)
+            return 0.0;
+        log_precision_sum +=
+            std::log(static_cast<double>(matches[o]) /
+                     static_cast<double>(totals[o]));
+    }
+    const double geo_mean =
+        std::exp(log_precision_sum / max_order);
+    const double bp =
+        hyp_len >= ref_len
+            ? 1.0
+            : std::exp(1.0 - static_cast<double>(ref_len) /
+                                 std::max<int64_t>(1, hyp_len));
+    return 100.0 * bp * geo_mean;
+}
+
+} // namespace echo::train

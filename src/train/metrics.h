@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Training-quality metrics: perplexity (language modeling / NMT
+ * training curves) and corpus BLEU (NMT validation curves, Fig. 12b).
+ */
+#ifndef ECHO_TRAIN_METRICS_H
+#define ECHO_TRAIN_METRICS_H
+
+#include <cstdint>
+#include <vector>
+
+namespace echo::train {
+
+/** Perplexity from a mean cross-entropy (natural log) loss. */
+double perplexity(double mean_nll);
+
+/**
+ * Corpus-level BLEU-4 with brevity penalty (Papineni et al.), in
+ * [0, 100].  Uses the standard smoothing of adding nothing: zero
+ * n-gram overlap at any order gives BLEU 0.
+ */
+double corpusBleu(
+    const std::vector<std::vector<int64_t>> &hypotheses,
+    const std::vector<std::vector<int64_t>> &references,
+    int max_order = 4);
+
+} // namespace echo::train
+
+#endif // ECHO_TRAIN_METRICS_H

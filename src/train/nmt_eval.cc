@@ -1,0 +1,78 @@
+#include "train/nmt_eval.h"
+
+#include "core/logging.h"
+
+namespace echo::train {
+
+std::vector<LengthBucket>
+iwsltBuckets()
+{
+    // IWSLT15 en-vi sentence lengths: mean ~20 tokens, capped at the
+    // 100-token maximum bucket the hyperparameters allocate for.
+    return {{10, 0.25}, {20, 0.40}, {40, 0.25}, {70, 0.08},
+            {100, 0.02}};
+}
+
+BucketedNmtProfile
+profileNmtBucketed(const models::NmtConfig &base_config,
+                   const std::vector<LengthBucket> &buckets,
+                   const NmtEvalOptions &opts)
+{
+    ECHO_REQUIRE(!buckets.empty(), "need at least one length bucket");
+    double weight_sum = 0.0;
+    for (const LengthBucket &b : buckets)
+        weight_sum += b.weight;
+    ECHO_REQUIRE(weight_sum > 0.0, "bucket weights must be positive");
+
+    BucketedNmtProfile out;
+    int64_t max_len = 0;
+    double replay_weighted = 0.0;
+
+    for (const LengthBucket &bucket : buckets) {
+        models::NmtConfig cfg = base_config;
+        cfg.src_len = bucket.length;
+        cfg.tgt_len = bucket.length;
+        models::NmtModel model(cfg);
+
+        pass::PassResult pres;
+        if (opts.policy != pass::PassConfig::Policy::kOff) {
+            pass::PassConfig pc;
+            pc.policy = opts.policy;
+            pc.overhead_budget_fraction =
+                opts.overhead_budget_fraction;
+            pc.gpu = opts.gpu;
+            pres = pass::runRecomputePass(model.graph(),
+                                          model.fetches(), pc);
+        }
+
+        SimulationOptions sim;
+        sim.gpu = opts.gpu;
+        sim.profiler = opts.profiler;
+        IterationProfile prof = profileIteration(
+            model.fetches(), model.weightGrads(), sim);
+
+        const double w = bucket.weight / weight_sum;
+        out.mean_iteration_seconds += w * prof.iterationSeconds();
+        out.avg_power_w += w * prof.avg_power_w;
+        out.dram_transactions +=
+            w * static_cast<double>(prof.runtime.dram_transactions);
+        if (pres.baseline_gpu_time_us > 0.0) {
+            replay_weighted +=
+                w * pres.replay_time_us / pres.baseline_gpu_time_us;
+        }
+        if (bucket.length > max_len) {
+            max_len = bucket.length;
+            out.device_bytes = prof.memory.device_bytes;
+            out.max_bucket_memory = prof.memory;
+            out.fits = prof.fits;
+        }
+        out.per_bucket.push_back(std::move(prof));
+    }
+
+    out.throughput = static_cast<double>(base_config.batch) /
+                     out.mean_iteration_seconds;
+    out.replay_fraction = replay_weighted;
+    return out;
+}
+
+} // namespace echo::train

@@ -1,0 +1,100 @@
+#include "train/optimizer.h"
+
+#include <cmath>
+
+#include "core/logging.h"
+
+namespace echo::train {
+
+double
+globalNorm(const std::vector<Tensor> &grads)
+{
+    double sum_sq = 0.0;
+    for (const Tensor &g : grads)
+        for (int64_t i = 0; i < g.numel(); ++i)
+            sum_sq += static_cast<double>(g.at(i)) * g.at(i);
+    return std::sqrt(sum_sq);
+}
+
+SgdOptimizer::SgdOptimizer(double lr, double momentum, double clip_norm)
+    : lr_(lr), momentum_(momentum), clip_norm_(clip_norm)
+{
+}
+
+double
+SgdOptimizer::step(ParamStore &params, const NamedWeights &weights,
+                   const std::vector<Tensor> &grads)
+{
+    ECHO_REQUIRE(weights.size() == grads.size(),
+                 "gradient count mismatch");
+    const double norm = globalNorm(grads);
+    const double scale =
+        clip_norm_ > 0.0 && norm > clip_norm_ ? clip_norm_ / norm : 1.0;
+
+    for (size_t i = 0; i < weights.size(); ++i) {
+        const std::string &name = weights[i].first;
+        Tensor &param = params.at(name);
+        const Tensor &grad = grads[i];
+        auto [it, fresh] = velocity_.try_emplace(
+            name, Tensor::zeros(param.shape()));
+        Tensor &vel = it->second;
+        (void)fresh;
+        for (int64_t j = 0; j < param.numel(); ++j) {
+            const float g =
+                static_cast<float>(scale) * grad.at(j);
+            vel.at(j) = static_cast<float>(momentum_) * vel.at(j) + g;
+            param.at(j) -= static_cast<float>(lr_) * vel.at(j);
+        }
+    }
+    return norm;
+}
+
+AdamOptimizer::AdamOptimizer(double lr, double beta1, double beta2,
+                             double eps, double clip_norm)
+    : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps),
+      clip_norm_(clip_norm)
+{
+}
+
+double
+AdamOptimizer::step(ParamStore &params, const NamedWeights &weights,
+                    const std::vector<Tensor> &grads)
+{
+    ECHO_REQUIRE(weights.size() == grads.size(),
+                 "gradient count mismatch");
+    const double norm = globalNorm(grads);
+    const double scale =
+        clip_norm_ > 0.0 && norm > clip_norm_ ? clip_norm_ / norm : 1.0;
+    ++t_;
+    const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+    const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+
+    for (size_t i = 0; i < weights.size(); ++i) {
+        const std::string &name = weights[i].first;
+        Tensor &param = params.at(name);
+        const Tensor &grad = grads[i];
+        auto [mit, f1] =
+            m_.try_emplace(name, Tensor::zeros(param.shape()));
+        auto [vit, f2] =
+            v_.try_emplace(name, Tensor::zeros(param.shape()));
+        (void)f1;
+        (void)f2;
+        Tensor &m = mit->second;
+        Tensor &v = vit->second;
+        for (int64_t j = 0; j < param.numel(); ++j) {
+            const double g =
+                scale * static_cast<double>(grad.at(j));
+            m.at(j) = static_cast<float>(beta1_ * m.at(j) +
+                                         (1.0 - beta1_) * g);
+            v.at(j) = static_cast<float>(beta2_ * v.at(j) +
+                                         (1.0 - beta2_) * g * g);
+            const double m_hat = m.at(j) / bc1;
+            const double v_hat = v.at(j) / bc2;
+            param.at(j) -= static_cast<float>(
+                lr_ * m_hat / (std::sqrt(v_hat) + eps_));
+        }
+    }
+    return norm;
+}
+
+} // namespace echo::train

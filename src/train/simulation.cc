@@ -1,0 +1,21 @@
+#include "train/simulation.h"
+
+namespace echo::train {
+
+IterationProfile
+profileIteration(const std::vector<graph::Val> &fetches,
+                 const std::vector<graph::Val> &weight_grads,
+                 const SimulationOptions &opts)
+{
+    IterationProfile prof;
+    prof.runtime = gpusim::simulateRun(fetches, opts.gpu);
+    prof.memory =
+        memory::profileMemory(fetches, weight_grads, opts.profiler);
+    prof.fits =
+        prof.memory.device_bytes <= opts.gpu.mem_capacity_bytes;
+    prof.avg_power_w =
+        gpusim::estimatePower(prof.runtime, opts.gpu, 1.0).avg_power_w;
+    return prof;
+}
+
+} // namespace echo::train

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * One-call iteration profiling: combine the GPU timeline, the memory
+ * profiler, the power model, and the capacity check for a training
+ * graph — the bundle every bench queries (the analogue of running
+ * nvprof + the MXNet memory profiler + nvidia-smi around one
+ * iteration).
+ */
+#ifndef ECHO_TRAIN_SIMULATION_H
+#define ECHO_TRAIN_SIMULATION_H
+
+#include "gpusim/power.h"
+#include "gpusim/timeline.h"
+#include "memory/profiler.h"
+
+namespace echo::train {
+
+/** Everything measured about one training-iteration configuration. */
+struct IterationProfile
+{
+    gpusim::ProfileReport runtime;
+    memory::MemoryProfile memory;
+    /** Average power while training (W). */
+    double avg_power_w = 0.0;
+    /** Whether the configuration fits in the GPU's memory. */
+    bool fits = true;
+
+    /** Samples/s at the given batch size. */
+    double throughput(int64_t batch) const
+    {
+        return runtime.throughput(batch);
+    }
+    double iterationSeconds() const
+    {
+        return runtime.wall_time_us * 1e-6;
+    }
+};
+
+/** Profiling options. */
+struct SimulationOptions
+{
+    gpusim::GpuSpec gpu = gpusim::GpuSpec::titanXp();
+    memory::ProfilerOptions profiler;
+};
+
+/** Profile one iteration of the graph reaching @p fetches. */
+IterationProfile
+profileIteration(const std::vector<graph::Val> &fetches,
+                 const std::vector<graph::Val> &weight_grads,
+                 const SimulationOptions &opts = {});
+
+} // namespace echo::train
+
+#endif // ECHO_TRAIN_SIMULATION_H

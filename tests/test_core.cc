@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Tests for the core utilities: RNG determinism and distributions,
+ * tables, and statistics helpers.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rng.h"
+#include "core/stats.h"
+#include "core/table.h"
+
+namespace echo {
+namespace {
+
+TEST(Rng, DeterministicForEqualSeeds)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformIntRespectsBound)
+{
+    Rng rng(9);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.uniformInt(17), 17u);
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(11);
+    Summary s;
+    for (int i = 0; i < 20000; ++i)
+        s.add(rng.gaussian());
+    EXPECT_NEAR(s.mean(), 0.0, 0.05);
+    EXPECT_NEAR(s.stddev(), 1.0, 0.05);
+}
+
+TEST(Rng, ZipfIsSkewedTowardLowRanks)
+{
+    Rng rng(13);
+    int low = 0, high = 0;
+    for (int i = 0; i < 5000; ++i) {
+        const uint64_t r = rng.zipf(1000, 1.0);
+        EXPECT_LT(r, 1000u);
+        if (r < 10)
+            ++low;
+        if (r >= 500)
+            ++high;
+    }
+    EXPECT_GT(low, high * 3);
+}
+
+TEST(Rng, SplitProducesIndependentStream)
+{
+    Rng a(5);
+    Rng child = a.split();
+    EXPECT_NE(a.next(), child.next());
+}
+
+TEST(Summary, TracksMinMeanMax)
+{
+    Summary s;
+    for (double v : {1.0, 2.0, 3.0, 4.0})
+        s.add(v);
+    EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 4.0);
+    EXPECT_EQ(s.count(), 4u);
+}
+
+TEST(Summary, EmptyIsZero)
+{
+    Summary s;
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(Stats, PearsonPerfectCorrelation)
+{
+    std::vector<double> xs{1, 2, 3, 4, 5};
+    std::vector<double> ys{2, 4, 6, 8, 10};
+    EXPECT_NEAR(pearsonCorrelation(xs, ys), 1.0, 1e-12);
+}
+
+TEST(Stats, PearsonAnticorrelation)
+{
+    std::vector<double> xs{1, 2, 3};
+    std::vector<double> ys{3, 2, 1};
+    EXPECT_NEAR(pearsonCorrelation(xs, ys), -1.0, 1e-12);
+}
+
+TEST(Stats, PearsonConstantSampleIsZero)
+{
+    std::vector<double> xs{1, 1, 1};
+    std::vector<double> ys{1, 2, 3};
+    EXPECT_DOUBLE_EQ(pearsonCorrelation(xs, ys), 0.0);
+}
+
+TEST(Ema, ConvergesToConstantInput)
+{
+    Ema e(0.5);
+    for (int i = 0; i < 50; ++i)
+        e.add(3.0);
+    EXPECT_NEAR(e.value(), 3.0, 1e-9);
+}
+
+TEST(Table, AlignsAndCounts)
+{
+    Table t({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"b", "22"});
+    EXPECT_EQ(t.numRows(), 2u);
+    const std::string s = t.toString();
+    EXPECT_NE(s.find("alpha"), std::string::npos);
+    EXPECT_NE(s.find("-----"), std::string::npos);
+}
+
+TEST(Table, CsvQuotesCommas)
+{
+    Table t({"a"});
+    t.addRow({"x,y"});
+    EXPECT_NE(t.toCsv().find("\"x,y\""), std::string::npos);
+}
+
+TEST(Table, FormatsBytes)
+{
+    EXPECT_EQ(Table::fmtBytes(512), "512 B");
+    EXPECT_EQ(Table::fmtBytes(4ull << 30), "4.00 GB");
+}
+
+TEST(Table, FormatsPercent)
+{
+    EXPECT_EQ(Table::fmtPercent(0.591), "59.1%");
+}
+
+} // namespace
+} // namespace echo

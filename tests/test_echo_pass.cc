@@ -1,0 +1,506 @@
+/**
+ * @file
+ * Tests for the Echo recomputation pass: feature-map discovery,
+ * candidate construction (GEMM boundaries), cost-model accounting,
+ * the graph rewrite, gradient equivalence, footprint reduction, and
+ * workspace sharing across time steps.
+ */
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "echo/candidate.h"
+#include "echo/feature_maps.h"
+#include "echo/recompute_pass.h"
+#include "echo/verify.h"
+#include "graph/autodiff.h"
+#include "graph/executor.h"
+#include "graph/ops/oplib.h"
+#include "memory/profiler.h"
+
+namespace echo::pass {
+namespace {
+
+namespace ol = graph::oplib;
+using graph::FeedDict;
+using graph::Graph;
+using graph::Phase;
+
+/**
+ * A miniature attention decoder: per step, an O-shape scoring region
+ * (broadcast + layernorm + tanh + v-dot) between GEMM projections —
+ * the structure of the paper's Fig. 3 attention layer.
+ */
+struct ToyAttentionModel
+{
+    std::unique_ptr<Graph> g = std::make_unique<Graph>();
+    Val hs, q0, labels;                 // placeholders
+    Val wk, wq, wo, v;                  // weights
+    Val loss;
+    std::vector<Val> fetches;           // loss + weight grads
+    std::vector<Val> weight_grads;
+    int64_t batch, steps, hidden;
+
+    void
+    build(int64_t b, int64_t t, int64_t h)
+    {
+        batch = b;
+        steps = t;
+        hidden = h;
+        hs = g->placeholder(Shape({b, t, h}), "encoder_states");
+        q0 = g->placeholder(Shape({b, h}), "q0");
+        labels = g->placeholder(Shape({b}), "labels");
+        wk = g->weight(Shape({h, h}), "wk");
+        wq = g->weight(Shape({h, h}), "wq");
+        wo = g->weight(Shape({h, h}), "wo");
+        v = g->weight(Shape({h}), "v");
+
+        Val proj_k;
+        {
+            graph::TagScope tag(*g, "encoder");
+            Val flat =
+                g->apply1(ol::reshape(Shape({b * t, h})), {hs});
+            Val pk = g->apply1(ol::gemm(false, true), {flat, wk});
+            proj_k = g->apply1(ol::reshape(Shape({b, t, h})), {pk});
+        }
+
+        Val cur = q0;
+        for (int64_t step = 0; step < t; ++step) {
+            g->setTimeStep(static_cast<int>(step));
+            Val ctx;
+            {
+                graph::TagScope tag(*g, "attention");
+                Val q = g->apply1(ol::gemm(false, true), {cur, wq});
+                Val e = g->apply1(ol::broadcastAddBT(), {proj_k, q});
+                Val ln = g->apply(ol::layerNorm(), {e})[0];
+                Val th = g->apply1(ol::tanhOp(), {ln});
+                Val scores = g->apply1(ol::dotLastAxis(), {th, v});
+                Val alpha = g->apply1(ol::softmax(), {scores});
+                Val alpha3 =
+                    g->apply1(ol::reshape(Shape({b, 1, t})), {alpha});
+                Val c3 = g->apply1(ol::bmm(false, false),
+                                   {alpha3, proj_k});
+                Val c2 =
+                    g->apply1(ol::reshape(Shape({b, h})), {c3});
+                ctx = g->apply1(ol::add(), {c2, q});
+            }
+            {
+                graph::TagScope tag(*g, "decoder");
+                cur = g->apply1(
+                    ol::tanhOp(),
+                    {g->apply1(ol::gemm(false, true), {ctx, wo})});
+            }
+        }
+        g->setTimeStep(-1);
+
+        {
+            graph::TagScope tag(*g, "output");
+            loss = g->apply1(ol::crossEntropyLoss(), {cur, labels});
+        }
+        auto gr = graph::backward(*g, loss, {wk, wq, wo, v});
+        weight_grads = gr.weight_grads;
+        fetches = {loss};
+        fetches.insert(fetches.end(), weight_grads.begin(),
+                       weight_grads.end());
+    }
+
+    FeedDict
+    feed(uint64_t seed) const
+    {
+        Rng rng(seed);
+        FeedDict f;
+        f[hs.node] = Tensor::uniform(Shape({batch, steps, hidden}),
+                                     rng, -1.0f, 1.0f);
+        f[q0.node] = Tensor::uniform(Shape({batch, hidden}), rng,
+                                     -1.0f, 1.0f);
+        Tensor lab(Shape({batch}));
+        for (int64_t i = 0; i < batch; ++i)
+            lab.at(i) = static_cast<float>(
+                rng.uniformInt(static_cast<uint64_t>(hidden)));
+        f[labels.node] = lab;
+        f[wk.node] = Tensor::uniform(Shape({hidden, hidden}), rng,
+                                     -0.3f, 0.3f);
+        f[wq.node] = Tensor::uniform(Shape({hidden, hidden}), rng,
+                                     -0.3f, 0.3f);
+        f[wo.node] = Tensor::uniform(Shape({hidden, hidden}), rng,
+                                     -0.3f, 0.3f);
+        f[v.node] =
+            Tensor::uniform(Shape({hidden}), rng, -0.3f, 0.3f);
+        return f;
+    }
+};
+
+TEST(FeatureMaps, FindsStashedActivations)
+{
+    Graph g;
+    Val x = g.weight(Shape({4}), "x");
+    Val y = g.apply1(ol::tanhOp(), {x});
+    Val z = g.apply1(ol::sigmoidOp(), {y});
+    Val labels = g.placeholder(Shape({1}), "l");
+    Val flat = g.apply1(ol::reshape(Shape({1, 4})), {z});
+    Val loss = g.apply1(ol::crossEntropyLoss(), {flat, labels});
+    auto gr = graph::backward(g, loss, {x});
+
+    auto fms = findFeatureMaps({loss, gr.weight_grads[0]});
+    // tanh output (consumed by sigmoid_grad via y? no — by z's grad) and
+    // sigmoid output are stashed; exact set nonempty and includes z.
+    bool found_z = false;
+    for (const FeatureMap &fm : fms)
+        if (fm.val == z)
+            found_z = true;
+    EXPECT_TRUE(found_z);
+    EXPECT_FALSE(fms.empty());
+}
+
+TEST(Candidate, StopsAtGemmBoundary)
+{
+    ToyAttentionModel m;
+    m.build(2, 3, 8);
+    auto fms = findFeatureMaps(m.fetches);
+
+    // Find the tanh output inside an attention step.
+    const FeatureMap *tanh_fm = nullptr;
+    for (const FeatureMap &fm : fms)
+        if (fm.val.node->layer_tag == "attention" &&
+            fm.val.node->kind == graph::NodeKind::kOp &&
+            fm.val.node->op->name() == "tanh" && fm.val.index == 0)
+            tanh_fm = &fm;
+    ASSERT_NE(tanh_fm, nullptr);
+
+    Candidate cand = buildCandidate(*tanh_fm);
+    ASSERT_TRUE(cand.admissible);
+    // Subgraph contains no GEMM.
+    for (const graph::Node *n : cand.subgraph)
+        EXPECT_TRUE(n->op->cheapToRecompute())
+            << n->op->name() << " in recompute region";
+    // The frontier is fed by GEMM projections (possibly via reshapes in
+    // the frontier values' producers).
+    EXPECT_FALSE(cand.frontier.empty());
+    EXPECT_GT(cand.interiorBytes(), 0);
+}
+
+TEST(Candidate, GemmBoundaryAblationGrowsRegion)
+{
+    ToyAttentionModel m;
+    m.build(2, 3, 8);
+    auto fms = findFeatureMaps(m.fetches);
+    const FeatureMap *target = nullptr;
+    for (const FeatureMap &fm : fms)
+        if (fm.val.node->layer_tag == "attention" &&
+            fm.val.node->op->name() == "tanh")
+            target = &fm;
+    ASSERT_NE(target, nullptr);
+
+    Candidate bounded = buildCandidate(*target, true);
+    Candidate unbounded = buildCandidate(*target, false);
+    EXPECT_GT(unbounded.subgraph.size(), bounded.subgraph.size());
+    bool has_gemm = false;
+    for (const graph::Node *n : unbounded.subgraph)
+        has_gemm = has_gemm || !n->op->cheapToRecompute();
+    EXPECT_TRUE(has_gemm);
+}
+
+TEST(Candidate, InadmissibleWhenRootIsGemm)
+{
+    Graph g;
+    Val x = g.placeholder(Shape({2, 3}), "x");
+    Val w = g.weight(Shape({4, 3}), "w");
+    Val y = g.apply1(ol::gemm(false, true), {x, w});
+    FeatureMap fm;
+    fm.val = y;
+    fm.bytes = 32;
+    EXPECT_FALSE(buildCandidate(fm).admissible);
+}
+
+TEST(RecomputePass, OffPolicyDoesNothing)
+{
+    ToyAttentionModel m;
+    m.build(2, 3, 8);
+    PassConfig cfg;
+    cfg.policy = PassConfig::Policy::kOff;
+    const size_t before = m.g->numNodes();
+    PassResult res = runRecomputePass(*m.g, m.fetches, cfg);
+    EXPECT_EQ(res.num_regions, 0);
+    EXPECT_EQ(m.g->numNodes(), before);
+}
+
+TEST(RecomputePass, AutoAcceptsAttentionRegions)
+{
+    ToyAttentionModel m;
+    m.build(2, 4, 16);
+    PassResult res = runRecomputePass(*m.g, m.fetches, {});
+    EXPECT_GT(res.num_regions, 0);
+    EXPECT_GT(res.num_recompute_nodes, 0);
+    EXPECT_GT(res.bytes_saved, res.bytes_added);
+    // Recompute nodes exist and are phase-tagged.
+    int recompute_nodes = 0;
+    for (const auto &n : m.g->nodes())
+        if (n->phase == Phase::kRecompute)
+            ++recompute_nodes;
+    EXPECT_EQ(recompute_nodes, res.num_recompute_nodes);
+}
+
+TEST(RecomputePass, GradientsBitIdentical)
+{
+    ToyAttentionModel baseline, rewritten;
+    baseline.build(2, 3, 8);
+    rewritten.build(2, 3, 8);
+    PassResult res = runRecomputePass(*rewritten.g, rewritten.fetches,
+                                      {});
+    ASSERT_GT(res.num_regions, 0);
+
+    graph::Executor ex_base(baseline.fetches);
+    graph::Executor ex_rw(rewritten.fetches);
+    const auto out_base = ex_base.run(baseline.feed(99));
+    const auto out_rw = ex_rw.run(rewritten.feed(99));
+
+    const VerifyResult vr = compareFetches(out_base, out_rw);
+    EXPECT_TRUE(vr.shapes_match);
+    EXPECT_EQ(vr.max_abs_diff, 0.0)
+        << "recomputation must replay identical float ops";
+}
+
+TEST(RecomputePass, ReducesFootprint)
+{
+    ToyAttentionModel baseline, rewritten;
+    baseline.build(4, 6, 32);
+    rewritten.build(4, 6, 32);
+    // Toy dimensions make replay time all kernel-overhead floor, so the
+    // paper's 2% budget (sized for real workloads) must be relaxed.
+    PassConfig cfg;
+    cfg.overhead_budget_fraction = 0.5;
+    runRecomputePass(*rewritten.g, rewritten.fetches, cfg);
+
+    memory::ProfilerOptions opts;
+    opts.cuda_context_bytes = 0;
+    const auto before = memory::profileMemory(
+        baseline.fetches, baseline.weight_grads, opts);
+    const auto after = memory::profileMemory(
+        rewritten.fetches, rewritten.weight_grads, opts);
+
+    EXPECT_LT(after.planned_bytes, before.planned_bytes);
+    // Attention's absolute bytes at the peak must drop (the 59% -> 6%
+    // fraction collapse of Fig. 14a is demonstrated at paper scale by
+    // bench/fig14_breakdown_comparison; at toy scale weights dominate
+    // and fractions are noisy, so assert absolute bytes here).
+    EXPECT_LT(after.by_layer.at("attention"),
+              before.by_layer.at("attention"));
+}
+
+TEST(RecomputePass, ManualPolicyOnlyTouchesTaggedRegions)
+{
+    ToyAttentionModel m;
+    m.build(2, 3, 8);
+    PassConfig cfg;
+    cfg.policy = PassConfig::Policy::kManual;
+    cfg.manual_tag = "attention";
+    cfg.overhead_budget_fraction = 0.5; // toy scale, see above
+    PassResult res = runRecomputePass(*m.g, m.fetches, cfg);
+    EXPECT_GT(res.num_regions, 0);
+    // Manual regions target attention feature maps; the region may pull
+    // in cheap producers from adjacent layers (the encoder-side reshape
+    // feeding the broadcast), but never the decoder or output layers.
+    bool any_attention = false;
+    for (const auto &n : m.g->nodes()) {
+        if (n->phase != Phase::kRecompute)
+            continue;
+        any_attention = any_attention || n->layer_tag == "attention";
+        EXPECT_NE(n->layer_tag, "decoder");
+        EXPECT_NE(n->layer_tag, "output");
+    }
+    EXPECT_TRUE(any_attention);
+}
+
+TEST(RecomputePass, AutoFindsAtLeastManualSavings)
+{
+    ToyAttentionModel manual_model, auto_model;
+    manual_model.build(2, 4, 16);
+    auto_model.build(2, 4, 16);
+
+    PassConfig manual_cfg;
+    manual_cfg.policy = PassConfig::Policy::kManual;
+    manual_cfg.overhead_budget_fraction = 0.5; // toy scale
+    PassConfig auto_cfg;
+    auto_cfg.overhead_budget_fraction = 0.5;
+    const PassResult manual_res =
+        runRecomputePass(*manual_model.g, manual_model.fetches,
+                         manual_cfg);
+    const PassResult auto_res =
+        runRecomputePass(*auto_model.g, auto_model.fetches, auto_cfg);
+    EXPECT_GE(auto_res.bytes_saved, manual_res.bytes_saved);
+    EXPECT_GE(auto_res.num_regions, manual_res.num_regions);
+}
+
+TEST(RecomputePass, ZeroBudgetAcceptsOnlyFreeRegions)
+{
+    ToyAttentionModel m;
+    m.build(2, 3, 8);
+    PassConfig cfg;
+    cfg.overhead_budget_fraction = 0.0;
+    const PassResult res = runRecomputePass(*m.g, m.fetches, cfg);
+    // Only regions whose modelled selection cost is zero (pure shape
+    // plumbing) are admitted; the emitted fused kernels may still move
+    // a few bytes, so allow a sliver of the baseline.
+    EXPECT_LE(res.replay_time_us,
+              0.05 * res.baseline_gpu_time_us);
+}
+
+TEST(RecomputePass, OverheadWithinBudget)
+{
+    ToyAttentionModel m;
+    m.build(4, 6, 32);
+    PassConfig cfg;
+    cfg.overhead_budget_fraction = 0.02;
+    const PassResult res = runRecomputePass(*m.g, m.fetches, cfg);
+    EXPECT_LE(res.replay_time_us,
+              cfg.overhead_budget_fraction * res.baseline_gpu_time_us +
+                  1e-9);
+}
+
+TEST(RecomputePass, ScheduleAnchorsReplaysInBackwardRegion)
+{
+    ToyAttentionModel m;
+    m.build(2, 3, 8);
+    runRecomputePass(*m.g, m.fetches, {});
+    const auto sched = graph::buildSchedule(m.fetches);
+    // Every recompute node must appear after all pure-forward nodes it
+    // replays (i.e., inside the backward region): its position must be
+    // greater than the position of the loss node.
+    int loss_pos = -1;
+    for (size_t i = 0; i < sched.size(); ++i)
+        if (sched[i] == m.loss.node)
+            loss_pos = static_cast<int>(i);
+    ASSERT_GE(loss_pos, 0);
+    for (size_t i = 0; i < sched.size(); ++i) {
+        if (sched[i]->phase == Phase::kRecompute) {
+            EXPECT_GT(static_cast<int>(i), loss_pos);
+        }
+    }
+}
+
+TEST(RecomputePass, WorkspaceSharedAcrossTimeSteps)
+{
+    // With the pass applied, the pool peak must grow ~linearly in T
+    // (shared workspace), not quadratically (paper §4.1.2).
+    auto pool_peak = [](int64_t t, bool reuse) {
+        ToyAttentionModel m;
+        m.build(2, t, 16);
+        PassConfig cfg;
+        cfg.overhead_budget_fraction = 0.5; // toy scale
+        runRecomputePass(*m.g, m.fetches, cfg);
+        memory::PlannerOptions popts;
+        popts.reuse_transients = reuse;
+        const auto live =
+            memory::analyzeLiveness(m.fetches, m.weight_grads);
+        return memory::planMemory(live, popts).pool_peak_bytes;
+    };
+
+    const int64_t p4 = pool_peak(4, true);
+    const int64_t p8 = pool_peak(8, true);
+    // Doubling T should roughly double the pooled peak (the [BxTxH]
+    // tensors grow linearly and the recompute arena is shared).
+    EXPECT_LT(static_cast<double>(p8) / static_cast<double>(p4), 3.0);
+
+    // Disabling reuse (the ablation) must cost substantially more.
+    const int64_t p8_no_reuse = pool_peak(8, false);
+    EXPECT_GT(p8_no_reuse, p8);
+}
+
+TEST(RecomputePass, TrainingStillConvergesAfterRewrite)
+{
+    // One SGD step on the rewritten graph must reduce the loss like the
+    // baseline does (sanity for end-to-end training with the pass on).
+    ToyAttentionModel m;
+    m.build(2, 3, 8);
+    runRecomputePass(*m.g, m.fetches, {});
+    graph::Executor ex(m.fetches);
+    FeedDict feed = m.feed(123);
+
+    const auto out0 = ex.run(feed);
+    const float loss0 = out0[0].at(0);
+    // SGD step on all four weights.
+    const Val weights[] = {m.wk, m.wq, m.wo, m.v};
+    for (size_t i = 0; i < 4; ++i) {
+        Tensor &w = feed[weights[i].node];
+        const Tensor &grad = out0[i + 1];
+        for (int64_t j = 0; j < w.numel(); ++j)
+            w.at(j) -= 0.5f * grad.at(j);
+    }
+    const auto out1 = ex.run(feed);
+    EXPECT_LT(out1[0].at(0), loss0);
+}
+
+
+TEST(RecomputePass, FusedAndUnfusedReplayBitIdentical)
+{
+    // fuse_replay changes kernel granularity, never numerics: baseline,
+    // unfused replay, and fused replay all produce identical fetches.
+    ToyAttentionModel baseline, unfused, fused;
+    baseline.build(2, 4, 16);
+    unfused.build(2, 4, 16);
+    fused.build(2, 4, 16);
+
+    PassConfig cfg;
+    cfg.overhead_budget_fraction = -1.0;
+    cfg.fuse_replay = false;
+    runRecomputePass(*unfused.g, unfused.fetches, cfg);
+    cfg.fuse_replay = true;
+    runRecomputePass(*fused.g, fused.fetches, cfg);
+
+    graph::Executor ex_base(baseline.fetches);
+    graph::Executor ex_unfused(unfused.fetches);
+    graph::Executor ex_fused(fused.fetches);
+    const auto out_base = ex_base.run(baseline.feed(5));
+    const auto out_unfused = ex_unfused.run(unfused.feed(5));
+    const auto out_fused = ex_fused.run(fused.feed(5));
+
+    EXPECT_EQ(compareFetches(out_base, out_unfused).max_abs_diff, 0.0);
+    EXPECT_EQ(compareFetches(out_base, out_fused).max_abs_diff, 0.0);
+}
+
+TEST(RecomputePass, FusionReducesReplayNodesAndTime)
+{
+    ToyAttentionModel unfused, fused;
+    unfused.build(4, 6, 32);
+    fused.build(4, 6, 32);
+
+    PassConfig cfg;
+    cfg.overhead_budget_fraction = -1.0;
+    cfg.fuse_replay = false;
+    const PassResult r_unfused =
+        runRecomputePass(*unfused.g, unfused.fetches, cfg);
+    cfg.fuse_replay = true;
+    const PassResult r_fused =
+        runRecomputePass(*fused.g, fused.fetches, cfg);
+
+    ASSERT_GT(r_unfused.num_regions, 0);
+    ASSERT_GT(r_fused.num_regions, 0);
+    // One generated kernel per region instead of one per op.
+    EXPECT_LT(r_fused.num_recompute_nodes,
+              r_unfused.num_recompute_nodes);
+    // The fused kernel only reads the frontier and writes the exits,
+    // so the emitted replay is cheaper.
+    EXPECT_LT(r_fused.replay_time_us, r_unfused.replay_time_us);
+}
+
+TEST(RecomputePass, FusedRegionsDoNotSpanTimeSteps)
+{
+    // Regions of different decoder steps must stay separate fused
+    // kernels; otherwise the scheduler could not anchor each replay at
+    // its own backward step and the workspace arena could not be
+    // shared (paper 4.1.2).
+    ToyAttentionModel m;
+    m.build(2, 5, 16);
+    PassConfig cfg;
+    cfg.overhead_budget_fraction = -1.0;
+    runRecomputePass(*m.g, m.fetches, cfg);
+
+    int fused_steps = 0;
+    for (const auto &n : m.g->nodes())
+        if (n->phase == Phase::kRecompute &&
+            n->op->name() == "fused_recompute" && n->time_step >= 0)
+            ++fused_steps;
+    EXPECT_GE(fused_steps, 5);
+}
+
+} // namespace
+} // namespace echo::pass

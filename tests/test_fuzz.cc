@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Randomized property tests: generate random dataflow graphs (cheap
+ * element-wise chains interleaved with GEMMs), differentiate them, and
+ * assert the invariants the Echo pass must uphold on ANY graph:
+ *
+ *  - the rewrite never changes a single output bit (fused or unfused),
+ *  - the pass never recomputes a GEMM-class op,
+ *  - the memory plan never overlaps simultaneously live values,
+ *  - analytic gradients match finite differences.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rng.h"
+#include "echo/recompute_pass.h"
+#include "echo/verify.h"
+#include "graph/autodiff.h"
+#include "graph/executor.h"
+#include "graph/ops/oplib.h"
+#include "memory/planner.h"
+
+namespace echo::pass {
+namespace {
+
+namespace ol = graph::oplib;
+using graph::FeedDict;
+using graph::Graph;
+using graph::Val;
+
+constexpr int64_t kRows = 3;
+constexpr int64_t kCols = 6;
+
+/** A randomly generated training graph over [kRows x kCols] tensors. */
+struct RandomModel
+{
+    std::unique_ptr<Graph> g = std::make_unique<Graph>();
+    std::vector<Val> inputs;  // placeholders
+    std::vector<Val> weights; // square weights for GEMMs
+    Val loss;
+    std::vector<Val> fetches;
+    std::vector<Val> weight_grads;
+
+    void
+    build(uint64_t seed, int num_ops)
+    {
+        Rng rng(seed);
+        std::vector<Val> pool;
+        for (int i = 0; i < 2; ++i) {
+            inputs.push_back(g->placeholder(
+                Shape({kRows, kCols}), "x" + std::to_string(i)));
+            pool.push_back(inputs.back());
+        }
+        for (int i = 0; i < 2; ++i)
+            weights.push_back(g->weight(Shape({kCols, kCols}),
+                                        "w" + std::to_string(i)));
+
+        auto pick = [&]() {
+            return pool[rng.uniformInt(pool.size())];
+        };
+        for (int i = 0; i < num_ops; ++i) {
+            const uint64_t choice = rng.uniformInt(8);
+            Val v;
+            switch (choice) {
+              case 0:
+                v = g->apply1(ol::add(), {pick(), pick()});
+                break;
+              case 1:
+                v = g->apply1(ol::sub(), {pick(), pick()});
+                break;
+              case 2:
+                v = g->apply1(ol::mul(), {pick(), pick()});
+                break;
+              case 3:
+                v = g->apply1(ol::tanhOp(), {pick()});
+                break;
+              case 4:
+                v = g->apply1(ol::sigmoidOp(), {pick()});
+                break;
+              case 5:
+                v = g->apply1(
+                    ol::scale(static_cast<float>(
+                        rng.uniform(0.5, 1.5))),
+                    {pick()});
+                break;
+              case 6:
+                v = g->apply1(
+                    ol::gemm(false, true),
+                    {pick(), weights[rng.uniformInt(2)]});
+                break;
+              default:
+                v = g->apply1(ol::softmax(), {pick()});
+                break;
+            }
+            pool.push_back(v);
+        }
+
+        // Scalar loss over the last value: sum(tanh(v)).
+        const Val last = pool.back();
+        const Val t = g->apply1(ol::tanhOp(), {last});
+        const Val flat = g->apply1(
+            ol::reshape(Shape({1, 1, kRows * kCols})), {t});
+        const Val ones = g->apply1(
+            ol::constant(Shape({kRows * kCols}), 1.0f), {});
+        loss = g->apply1(
+            ol::reshape(Shape({1})),
+            {g->apply1(ol::dotLastAxis(), {flat, ones})});
+
+        auto gr = graph::backward(*g, loss, weights);
+        weight_grads = gr.weight_grads;
+        fetches = {loss};
+        fetches.insert(fetches.end(), weight_grads.begin(),
+                       weight_grads.end());
+    }
+
+    FeedDict
+    feed(uint64_t seed) const
+    {
+        Rng rng(seed);
+        FeedDict f;
+        for (const Val &x : inputs)
+            f[x.node] = Tensor::uniform(Shape({kRows, kCols}), rng,
+                                        -0.8f, 0.8f);
+        for (const Val &w : weights)
+            f[w.node] = Tensor::uniform(Shape({kCols, kCols}), rng,
+                                        -0.4f, 0.4f);
+        return f;
+    }
+};
+
+class PassFuzz : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(PassFuzz, RewriteIsBitExactOnRandomGraphs)
+{
+    const uint64_t seed = GetParam();
+    for (const bool fuse : {false, true}) {
+        RandomModel baseline, rewritten;
+        baseline.build(seed, 24);
+        rewritten.build(seed, 24);
+
+        PassConfig cfg;
+        cfg.overhead_budget_fraction = -1.0;
+        cfg.fuse_replay = fuse;
+        runRecomputePass(*rewritten.g, rewritten.fetches, cfg);
+
+        graph::Executor ex_a(baseline.fetches);
+        graph::Executor ex_b(rewritten.fetches);
+        const auto out_a = ex_a.run(baseline.feed(seed * 31 + 7));
+        const auto out_b = ex_b.run(rewritten.feed(seed * 31 + 7));
+        const VerifyResult vr = compareFetches(out_a, out_b);
+        EXPECT_TRUE(vr.shapes_match);
+        EXPECT_EQ(vr.max_abs_diff, 0.0)
+            << "seed " << seed << " fuse=" << fuse;
+    }
+}
+
+TEST_P(PassFuzz, NeverRecomputesGemms)
+{
+    RandomModel m;
+    m.build(GetParam(), 24);
+    PassConfig cfg;
+    cfg.overhead_budget_fraction = -1.0;
+    cfg.fuse_replay = false; // per-op clones so ops are inspectable
+    runRecomputePass(*m.g, m.fetches, cfg);
+    for (const auto &n : m.g->nodes()) {
+        if (n->phase == graph::Phase::kRecompute) {
+            EXPECT_TRUE(n->op->cheapToRecompute())
+                << "recompute node runs " << n->op->name();
+        }
+    }
+}
+
+TEST_P(PassFuzz, PlanNeverOverlapsLiveValuesAfterRewrite)
+{
+    RandomModel m;
+    m.build(GetParam(), 24);
+    PassConfig cfg;
+    cfg.overhead_budget_fraction = -1.0;
+    runRecomputePass(*m.g, m.fetches, cfg);
+
+    const auto live =
+        memory::analyzeLiveness(m.fetches, m.weight_grads);
+    const auto plan = memory::planMemory(live);
+    for (const auto &a : live.values) {
+        if (a.persistent)
+            continue;
+        for (const auto &b : live.values) {
+            if (b.persistent || a.val == b.val)
+                continue;
+            const bool overlap_life =
+                a.def_pos <= b.last_use_pos &&
+                b.def_pos <= a.last_use_pos;
+            if (!overlap_life)
+                continue;
+            const auto &pa = plan.offsets.at(a.val);
+            const auto &pb = plan.offsets.at(b.val);
+            const bool disjoint =
+                pa.offset + pa.bytes <= pb.offset ||
+                pb.offset + pb.bytes <= pa.offset;
+            ASSERT_TRUE(disjoint) << "seed " << GetParam();
+        }
+    }
+}
+
+TEST_P(PassFuzz, GradientsMatchFiniteDifferences)
+{
+    RandomModel m;
+    m.build(GetParam(), 14);
+    FeedDict feed = m.feed(GetParam() + 99);
+
+    graph::Executor ex(m.fetches);
+    const auto analytic = ex.run(feed);
+    graph::Executor loss_ex({m.loss});
+    const double eps = 1e-3;
+
+    // Check a handful of elements of the first weight.
+    Tensor &param = feed[m.weights[0].node];
+    for (int64_t j = 0; j < param.numel(); j += 7) {
+        const float saved = param.at(j);
+        param.at(j) = saved + static_cast<float>(eps);
+        const double up = loss_ex.run(feed)[0].at(0);
+        param.at(j) = saved - static_cast<float>(eps);
+        const double down = loss_ex.run(feed)[0].at(0);
+        param.at(j) = saved;
+        const double numeric = (up - down) / (2.0 * eps);
+        EXPECT_NEAR(analytic[1].at(j), numeric,
+                    5e-2 * std::max(1.0, std::abs(numeric)))
+            << "seed " << GetParam() << " element " << j;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PassFuzz,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u,
+                                           21u, 34u, 55u, 89u));
+
+} // namespace
+} // namespace echo::pass

@@ -1,0 +1,277 @@
+/**
+ * @file
+ * Tests for the analytical GPU model: spec presets, the layout-sensitive
+ * GEMM model (calibrated against the paper's Fig. 9), kernel costing,
+ * the iteration timeline / CUDA-API model, and the power model.
+ */
+#include <gtest/gtest.h>
+
+#include "gpusim/gemm_model.h"
+#include "gpusim/kernel_cost.h"
+#include "gpusim/power.h"
+#include "gpusim/timeline.h"
+#include "graph/autodiff.h"
+#include "graph/ops/oplib.h"
+
+namespace echo::gpusim {
+namespace {
+
+namespace ol = graph::oplib;
+
+TEST(GpuSpec, PresetsAreSane)
+{
+    for (const GpuSpec &s :
+         {GpuSpec::titanXp(), GpuSpec::titanV(), GpuSpec::rtx2080Ti()}) {
+        EXPECT_GT(s.fp32_tflops, 1.0);
+        EXPECT_GT(s.dram_gbps, 100.0);
+        EXPECT_GT(s.sm_count, 0);
+        EXPECT_GT(s.mem_capacity_bytes, 1ll << 30);
+        EXPECT_GT(s.max_power_w, s.idle_power_w);
+    }
+}
+
+TEST(GpuSpec, NewerGpusAreFaster)
+{
+    EXPECT_GT(GpuSpec::titanV().fp32_tflops,
+              GpuSpec::titanXp().fp32_tflops);
+    EXPECT_GT(GpuSpec::rtx2080Ti().dram_gbps,
+              GpuSpec::titanXp().dram_gbps);
+    EXPECT_LT(GpuSpec::rtx2080Ti().mem_capacity_bytes,
+              GpuSpec::titanXp().mem_capacity_bytes);
+}
+
+// ----------------------------------------------------------------------
+// GEMM model calibration against Fig. 9
+// ----------------------------------------------------------------------
+
+TEST(GemmModel, Fig9LstmShapes)
+{
+    // Y = X W^T with X [64x512], W [2048x512]  ->  M=64, N=2048, K=512
+    // Y^T = W X^T                              ->  M=2048, N=64, K=512
+    const GpuSpec gpu = GpuSpec::titanXp();
+    const GemmCost slow = estimateGemm({64, 2048, 512}, gpu);
+    const GemmCost fast = estimateGemm({2048, 64, 512}, gpu);
+    const double ratio = slow.time_us / fast.time_us;
+    // Paper: the transposed form is ~2x faster for LSTM shapes.
+    EXPECT_GT(ratio, 1.6) << "slow=" << slow.time_us
+                          << "us fast=" << fast.time_us << "us";
+    EXPECT_LT(ratio, 2.5);
+    // And has better cache utilization.
+    EXPECT_GT(fast.l2_hit_rate, slow.l2_hit_rate);
+}
+
+TEST(GemmModel, Fig9GruShapes)
+{
+    // GRU: W [3072x1024], X [64x1024] -> ~1.3x.
+    const GpuSpec gpu = GpuSpec::titanXp();
+    const GemmCost slow = estimateGemm({64, 3072, 1024}, gpu);
+    const GemmCost fast = estimateGemm({3072, 64, 1024}, gpu);
+    const double ratio = slow.time_us / fast.time_us;
+    EXPECT_GT(ratio, 1.1);
+    EXPECT_LT(ratio, 1.6);
+}
+
+TEST(GemmModel, SquareShapesNearPeak)
+{
+    const GpuSpec gpu = GpuSpec::titanXp();
+    const GemmCost c = estimateGemm({2048, 2048, 2048}, gpu);
+    EXPECT_GT(c.efficiency, 0.7);
+    // Runtime close to flops / (peak * eff).
+    const double ideal_us =
+        2.0 * 2048 * 2048 * 2048 / (12.15e12 * c.efficiency) * 1e6;
+    EXPECT_NEAR(c.time_us, ideal_us, ideal_us * 0.1 + 5.0);
+}
+
+TEST(GemmModel, PenaltyShrinksWithBatch)
+{
+    // As M (batch) grows toward the tile size, the skew penalty fades —
+    // the layout optimization matters most at small batch, as the paper
+    // observes.
+    const GpuSpec gpu = GpuSpec::titanXp();
+    double prev_ratio = 1e9;
+    for (int64_t b : {32, 64, 128}) {
+        const GemmCost slow = estimateGemm({b, 2048, 512}, gpu);
+        const GemmCost fast = estimateGemm({2048, b, 512}, gpu);
+        const double ratio = slow.time_us / fast.time_us;
+        EXPECT_LT(ratio, prev_ratio + 1e-9);
+        prev_ratio = ratio;
+    }
+    EXPECT_LT(prev_ratio, 1.35); // B=128: near parity
+}
+
+TEST(GemmModel, MonotoneInK)
+{
+    const GpuSpec gpu = GpuSpec::titanXp();
+    double prev = 0.0;
+    for (int64_t k : {128, 256, 512, 1024}) {
+        const GemmCost c = estimateGemm({256, 256, k}, gpu);
+        EXPECT_GT(c.time_us, prev);
+        prev = c.time_us;
+    }
+}
+
+TEST(GemmModel, FasterGpuIsFaster)
+{
+    const GemmCost xp =
+        estimateGemm({1024, 1024, 1024}, GpuSpec::titanXp());
+    const GemmCost v =
+        estimateGemm({1024, 1024, 1024}, GpuSpec::titanV());
+    EXPECT_LT(v.time_us, xp.time_us);
+}
+
+// ----------------------------------------------------------------------
+// Kernel cost
+// ----------------------------------------------------------------------
+
+TEST(KernelCost, UncoalescedReverseIsCatastrophic)
+{
+    // The paper's §5.1: batch-sequential SequenceReverse reads ~1 GB/s
+    // on a 547 GB/s part; the parallel fix restores bandwidth.
+    graph::KernelDesc seq;
+    seq.category = "sequence_reverse";
+    seq.bytes_read = 64ll << 20;
+    seq.bytes_written = 64ll << 20;
+    seq.coalesced = false;
+    graph::KernelDesc par = seq;
+    par.coalesced = true;
+
+    const GpuSpec gpu = GpuSpec::titanXp();
+    const KernelCost c_seq = estimateKernel(seq, gpu);
+    const KernelCost c_par = estimateKernel(par, gpu);
+    EXPECT_GT(c_seq.time_us / c_par.time_us, 100.0);
+}
+
+TEST(KernelCost, LaunchesPropagate)
+{
+    graph::KernelDesc d;
+    d.bytes_read = 1024;
+    d.bytes_written = 1024;
+    d.launches = 50;
+    const KernelCost c = estimateKernel(d, GpuSpec::titanXp());
+    EXPECT_EQ(c.launches, 50);
+    // 50 kernel overheads dominate the tiny transfers.
+    EXPECT_GT(c.time_us, 50 * 1.0);
+}
+
+TEST(KernelCost, GemmDescUsesGemmModel)
+{
+    graph::KernelDesc d;
+    d.is_gemm = true;
+    d.gemm_m = 64;
+    d.gemm_n = 2048;
+    d.gemm_k = 512;
+    d.flops = 2ll * 64 * 2048 * 512;
+    const KernelCost c = estimateKernel(d, GpuSpec::titanXp());
+    const GemmCost g = estimateGemm({64, 2048, 512},
+                                    GpuSpec::titanXp());
+    EXPECT_NEAR(c.time_us, g.time_us, 1e-9);
+}
+
+// ----------------------------------------------------------------------
+// Timeline / CUDA API model
+// ----------------------------------------------------------------------
+
+TEST(Timeline, ManySmallKernelsAreLaunchBound)
+{
+    // A chain of tiny element-wise ops: wall time ~= launches * 5us,
+    // kernels much cheaper — MXNet Default's profile (Fig. 7a).
+    graph::Graph g;
+    graph::Val x = g.placeholder(Shape({64}), "x");
+    graph::Val cur = x;
+    for (int i = 0; i < 40; ++i)
+        cur = g.apply1(ol::tanhOp(), {cur});
+
+    const ProfileReport rep = simulateRun({cur}, GpuSpec::titanXp());
+    EXPECT_EQ(rep.kernel_launches, 40);
+    // CPU launch time is of the same order as the (overhead-dominated)
+    // kernels themselves — the Fig. 7a profile shape.
+    EXPECT_GT(rep.cuda_launch_time_us,
+              rep.gpu_kernel_time_us * 0.5);
+    EXPECT_GE(rep.wall_time_us, rep.cuda_launch_time_us);
+}
+
+TEST(Timeline, BigGemmIsComputeBound)
+{
+    graph::Graph g;
+    graph::Val x = g.placeholder(Shape({2048, 2048}), "x");
+    graph::Val w = g.weight(Shape({2048, 2048}), "w");
+    graph::Val y = g.apply1(ol::gemm(false, true), {x, w});
+
+    const ProfileReport rep = simulateRun({y}, GpuSpec::titanXp());
+    EXPECT_GT(rep.gpu_kernel_time_us, rep.cuda_launch_time_us * 10);
+    EXPECT_GT(rep.kernel_time_by_category.at("fully_connected"), 0.0);
+}
+
+TEST(Timeline, LayerAndPhaseAttribution)
+{
+    graph::Graph g;
+    graph::Val x = g.placeholder(Shape({32, 32}), "x");
+    graph::Val y;
+    {
+        graph::TagScope tag(g, "attention");
+        y = g.apply1(ol::tanhOp(), {x});
+    }
+    graph::Val labels = g.placeholder(Shape({32}), "labels");
+    graph::Val loss = g.apply1(ol::crossEntropyLoss(), {y, labels});
+    auto gr = graph::backward(g, loss, {});
+    (void)gr;
+
+    const ProfileReport rep = simulateRun({loss}, GpuSpec::titanXp());
+    EXPECT_GT(rep.kernel_time_by_layer.at("attention"), 0.0);
+    EXPECT_GT(rep.kernel_time_by_phase.at("forward"), 0.0);
+}
+
+TEST(Timeline, ThroughputInvertsWallTime)
+{
+    ProfileReport rep;
+    rep.wall_time_us = 1e6; // one second
+    EXPECT_DOUBLE_EQ(rep.throughput(128), 128.0);
+}
+
+TEST(Timeline, DramTransactionsAre32Bytes)
+{
+    graph::Graph g;
+    graph::Val x = g.placeholder(Shape({1024}), "x");
+    graph::Val y = g.apply1(ol::tanhOp(), {x});
+    const ProfileReport rep = simulateRun({y}, GpuSpec::titanXp());
+    EXPECT_EQ(rep.dram_transactions, rep.dram_bytes / 32);
+    EXPECT_GT(rep.dram_bytes, 0);
+}
+
+// ----------------------------------------------------------------------
+// Power model
+// ----------------------------------------------------------------------
+
+TEST(Power, BusyGpuNearTdpIdleNearIdle)
+{
+    const GpuSpec gpu = GpuSpec::titanXp();
+    ProfileReport busy;
+    busy.wall_time_us = 100.0;
+    busy.gpu_kernel_time_us = 100.0;
+    busy.avg_utilization = 0.8;
+    const PowerEstimate p_busy = estimatePower(busy, gpu, 10.0);
+    EXPECT_GT(p_busy.avg_power_w, 180.0);
+    EXPECT_LE(p_busy.avg_power_w, gpu.max_power_w);
+
+    ProfileReport idle;
+    idle.wall_time_us = 100.0;
+    idle.gpu_kernel_time_us = 0.0;
+    const PowerEstimate p_idle = estimatePower(idle, gpu, 10.0);
+    EXPECT_NEAR(p_idle.avg_power_w, gpu.idle_power_w, 1.0);
+}
+
+TEST(Power, EnergyScalesWithTime)
+{
+    ProfileReport rep;
+    rep.wall_time_us = 100.0;
+    rep.gpu_kernel_time_us = 80.0;
+    rep.avg_utilization = 0.5;
+    const GpuSpec gpu = GpuSpec::titanXp();
+    const PowerEstimate e1 = estimatePower(rep, gpu, 100.0);
+    const PowerEstimate e2 = estimatePower(rep, gpu, 150.0);
+    EXPECT_NEAR(e2.energy_j / e1.energy_j, 1.5, 1e-9);
+    EXPECT_NEAR(e1.avg_power_w, e2.avg_power_w, 1e-9);
+}
+
+} // namespace
+} // namespace echo::gpusim

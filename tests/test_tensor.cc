@@ -1,0 +1,410 @@
+/**
+ * @file
+ * Tests for the tensor library: shapes, storage semantics, and every op
+ * against hand-computed or reference results, including TEST_P sweeps
+ * over GEMM transpose combinations.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rng.h"
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+
+namespace echo {
+namespace {
+
+TEST(Shape, Basics)
+{
+    Shape s({2, 3, 4});
+    EXPECT_EQ(s.ndim(), 3);
+    EXPECT_EQ(s.numel(), 24);
+    EXPECT_EQ(s.bytes(), 96);
+    EXPECT_EQ(s.dim(-1), 4);
+    EXPECT_EQ(s.toString(), "[2x3x4]");
+}
+
+TEST(Shape, DropAndInsertAxis)
+{
+    Shape s({2, 3, 4});
+    EXPECT_EQ(s.dropAxis(1), Shape({2, 4}));
+    EXPECT_EQ(s.insertAxis(0, 7), Shape({7, 2, 3, 4}));
+    EXPECT_EQ(s.insertAxis(3, 7), Shape({2, 3, 4, 7}));
+}
+
+TEST(Shape, Equality)
+{
+    EXPECT_EQ(Shape({2, 3}), Shape({2, 3}));
+    EXPECT_NE(Shape({2, 3}), Shape({3, 2}));
+}
+
+TEST(Tensor, ZerosAndFill)
+{
+    Tensor t = Tensor::zeros(Shape({2, 2}));
+    EXPECT_DOUBLE_EQ(t.sum(), 0.0);
+    t.fill(2.5f);
+    EXPECT_DOUBLE_EQ(t.sum(), 10.0);
+}
+
+TEST(Tensor, ReshapeSharesStorage)
+{
+    Tensor t = Tensor::zeros(Shape({2, 3}));
+    Tensor r = t.reshape(Shape({3, 2}));
+    r.at(0) = 5.0f;
+    EXPECT_FLOAT_EQ(t.at(0), 5.0f);
+}
+
+TEST(Tensor, CloneIsDeep)
+{
+    Tensor t = Tensor::full(Shape({2}), 1.0f);
+    Tensor c = t.clone();
+    c.at(0) = 9.0f;
+    EXPECT_FLOAT_EQ(t.at(0), 1.0f);
+}
+
+TEST(Tensor, AllFiniteDetectsNan)
+{
+    Tensor t = Tensor::zeros(Shape({3}));
+    EXPECT_TRUE(t.allFinite());
+    t.at(1) = std::nanf("");
+    EXPECT_FALSE(t.allFinite());
+}
+
+TEST(Tensor, MultiDimAccess)
+{
+    Tensor t = Tensor::zeros(Shape({2, 3, 4}));
+    t.at(1, 2, 3) = 7.0f;
+    EXPECT_FLOAT_EQ(t.at(1 * 12 + 2 * 4 + 3), 7.0f);
+}
+
+// ----------------------------------------------------------------------
+// GEMM: all four transpose combinations against a naive reference.
+// ----------------------------------------------------------------------
+
+class GemmTransposes
+    : public ::testing::TestWithParam<std::tuple<bool, bool>>
+{
+};
+
+TEST_P(GemmTransposes, MatchesNaiveReference)
+{
+    const auto [ta, tb] = GetParam();
+    const int64_t m = 3, n = 5, k = 4;
+    Rng rng(17);
+    Tensor a = Tensor::uniform(ta ? Shape({k, m}) : Shape({m, k}), rng,
+                               -1.0f, 1.0f);
+    Tensor b = Tensor::uniform(tb ? Shape({n, k}) : Shape({k, n}), rng,
+                               -1.0f, 1.0f);
+    Tensor c = ops::gemm(a, ta, b, tb);
+    ASSERT_EQ(c.shape(), Shape({m, n}));
+    for (int64_t i = 0; i < m; ++i)
+        for (int64_t j = 0; j < n; ++j) {
+            double ref = 0.0;
+            for (int64_t p = 0; p < k; ++p) {
+                const float av = ta ? a.at(p, i) : a.at(i, p);
+                const float bv = tb ? b.at(j, p) : b.at(p, j);
+                ref += av * bv;
+            }
+            EXPECT_NEAR(c.at(i, j), ref, 1e-4);
+        }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCombos, GemmTransposes,
+                         ::testing::Combine(::testing::Bool(),
+                                            ::testing::Bool()));
+
+TEST(Gemm, MathematicallyEquivalentLayouts)
+{
+    // The paper's Fig. 9 setup: Y = X W^T must equal (W X^T)^T exactly.
+    Rng rng(3);
+    Tensor x = Tensor::uniform(Shape({8, 16}), rng, -1.0f, 1.0f);
+    Tensor w = Tensor::uniform(Shape({32, 16}), rng, -1.0f, 1.0f);
+    Tensor y1 = ops::gemm(x, false, w, true);           // [8x32]
+    Tensor y2t = ops::gemm(w, false, x, true);          // [32x8]
+    Tensor y2 = ops::transpose2d(y2t);
+    ASSERT_EQ(y1.shape(), y2.shape());
+    for (int64_t i = 0; i < y1.numel(); ++i)
+        EXPECT_NEAR(y1.at(i), y2.at(i), 1e-4);
+}
+
+TEST(Gemm, RejectsMismatchedInner)
+{
+    Tensor a = Tensor::zeros(Shape({2, 3}));
+    Tensor b = Tensor::zeros(Shape({4, 5}));
+    EXPECT_DEATH({ ops::gemm(a, false, b, false); }, "");
+}
+
+TEST(Bmm, BatchesIndependently)
+{
+    Rng rng(5);
+    Tensor a = Tensor::uniform(Shape({2, 3, 4}), rng);
+    Tensor b = Tensor::uniform(Shape({2, 4, 5}), rng);
+    Tensor c = ops::bmm(a, false, b, false);
+    ASSERT_EQ(c.shape(), Shape({2, 3, 5}));
+    for (int64_t bi = 0; bi < 2; ++bi) {
+        Tensor ab = ops::slice(a, 0, bi, bi + 1).reshape(Shape({3, 4}));
+        Tensor bb = ops::slice(b, 0, bi, bi + 1).reshape(Shape({4, 5}));
+        Tensor ref = ops::gemm(ab, false, bb, false);
+        for (int64_t i = 0; i < 15; ++i)
+            EXPECT_NEAR(c.at(bi * 15 + i), ref.at(i), 1e-5);
+    }
+}
+
+// ----------------------------------------------------------------------
+// Element-wise and broadcast ops
+// ----------------------------------------------------------------------
+
+TEST(Elementwise, AddSubMul)
+{
+    Tensor a(Shape({3}), {1, 2, 3});
+    Tensor b(Shape({3}), {4, 5, 6});
+    EXPECT_FLOAT_EQ(ops::add(a, b).at(1), 7.0f);
+    EXPECT_FLOAT_EQ(ops::sub(a, b).at(1), -3.0f);
+    EXPECT_FLOAT_EQ(ops::mul(a, b).at(1), 10.0f);
+    EXPECT_FLOAT_EQ(ops::axpy(a, b, 2.0f).at(2), 15.0f);
+}
+
+TEST(Elementwise, Activations)
+{
+    Tensor x(Shape({3}), {-1.0f, 0.0f, 1.0f});
+    EXPECT_NEAR(ops::tanh(x).at(0), std::tanh(-1.0f), 1e-6);
+    EXPECT_NEAR(ops::sigmoid(x).at(2), 1.0f / (1.0f + std::exp(-1.0f)),
+                1e-6);
+    EXPECT_FLOAT_EQ(ops::relu(x).at(0), 0.0f);
+    EXPECT_FLOAT_EQ(ops::relu(x).at(2), 1.0f);
+    EXPECT_FLOAT_EQ(ops::square(x).at(0), 1.0f);
+    EXPECT_FLOAT_EQ(ops::negate(x).at(2), -1.0f);
+}
+
+TEST(Elementwise, BiasAndReduce)
+{
+    Tensor x(Shape({2, 3}), {1, 2, 3, 4, 5, 6});
+    Tensor b(Shape({3}), {10, 20, 30});
+    Tensor y = ops::addBias(x, b);
+    EXPECT_FLOAT_EQ(y.at(1, 2), 36.0f);
+    Tensor s = ops::sumToBias(y, 3);
+    EXPECT_FLOAT_EQ(s.at(0), 1 + 4 + 20.0f);
+}
+
+TEST(Broadcast, AddBTAndSumAxis1RoundTrip)
+{
+    Rng rng(23);
+    Tensor x = Tensor::zeros(Shape({2, 3, 4}));
+    Tensor q = Tensor::uniform(Shape({2, 4}), rng);
+    Tensor y = ops::broadcastAddBT(x, q);
+    for (int64_t b = 0; b < 2; ++b)
+        for (int64_t t = 0; t < 3; ++t)
+            for (int64_t h = 0; h < 4; ++h)
+                EXPECT_FLOAT_EQ(y.at(b, t, h), q.at(b, h));
+    Tensor s = ops::sumAxis1(y);
+    for (int64_t b = 0; b < 2; ++b)
+        for (int64_t h = 0; h < 4; ++h)
+            EXPECT_NEAR(s.at(b, h), 3.0f * q.at(b, h), 1e-5);
+}
+
+TEST(Broadcast, DotAndOuterLastAxis)
+{
+    Tensor x(Shape({1, 2, 3}), {1, 2, 3, 4, 5, 6});
+    Tensor v(Shape({3}), {1, 0, 2});
+    Tensor d = ops::dotLastAxis(x, v);
+    ASSERT_EQ(d.shape(), Shape({1, 2}));
+    EXPECT_FLOAT_EQ(d.at(0), 1 + 6.0f);
+    EXPECT_FLOAT_EQ(d.at(1), 4 + 12.0f);
+
+    Tensor o = ops::outerLastAxis(d, v);
+    ASSERT_EQ(o.shape(), Shape({1, 2, 3}));
+    EXPECT_FLOAT_EQ(o.at(0, 1, 2), d.at(1) * 2.0f);
+}
+
+TEST(Broadcast, ScaleRowsAndRowDot)
+{
+    Tensor x(Shape({1, 2, 2}), {1, 2, 3, 4});
+    Tensor w(Shape({1, 2}), {2, 3});
+    Tensor y = ops::scaleRowsBT(x, w);
+    EXPECT_FLOAT_EQ(y.at(0, 0, 1), 4.0f);
+    EXPECT_FLOAT_EQ(y.at(0, 1, 0), 9.0f);
+
+    Tensor d = ops::rowDotBT(x, x);
+    EXPECT_FLOAT_EQ(d.at(0), 5.0f);
+    EXPECT_FLOAT_EQ(d.at(1), 25.0f);
+}
+
+// ----------------------------------------------------------------------
+// Shape ops
+// ----------------------------------------------------------------------
+
+TEST(ShapeOps, Transpose2d)
+{
+    Tensor a(Shape({2, 3}), {1, 2, 3, 4, 5, 6});
+    Tensor t = ops::transpose2d(a);
+    ASSERT_EQ(t.shape(), Shape({3, 2}));
+    EXPECT_FLOAT_EQ(t.at(2, 1), 6.0f);
+    EXPECT_FLOAT_EQ(t.at(0, 1), 4.0f);
+}
+
+TEST(ShapeOps, Permute3dRoundTrip)
+{
+    Rng rng(31);
+    Tensor a = Tensor::uniform(Shape({2, 3, 4}), rng);
+    Tensor p = ops::permute3d(a, {2, 0, 1});
+    ASSERT_EQ(p.shape(), Shape({4, 2, 3}));
+    EXPECT_FLOAT_EQ(p.at(3, 1, 2), a.at(1, 2, 3));
+    Tensor back = ops::permute3d(p, {1, 2, 0});
+    for (int64_t i = 0; i < a.numel(); ++i)
+        EXPECT_FLOAT_EQ(back.at(i), a.at(i));
+}
+
+TEST(ShapeOps, ConcatAndSliceInverse)
+{
+    Tensor a(Shape({2, 2}), {1, 2, 3, 4});
+    Tensor b(Shape({2, 3}), {5, 6, 7, 8, 9, 10});
+    Tensor c = ops::concat({a, b}, 1);
+    ASSERT_EQ(c.shape(), Shape({2, 5}));
+    EXPECT_FLOAT_EQ(c.at(1, 1), 4.0f);
+    EXPECT_FLOAT_EQ(c.at(1, 4), 10.0f);
+
+    Tensor sa = ops::slice(c, 1, 0, 2);
+    Tensor sb = ops::slice(c, 1, 2, 5);
+    for (int64_t i = 0; i < 4; ++i)
+        EXPECT_FLOAT_EQ(sa.at(i), a.at(i));
+    for (int64_t i = 0; i < 6; ++i)
+        EXPECT_FLOAT_EQ(sb.at(i), b.at(i));
+}
+
+TEST(ShapeOps, ConcatAxis0)
+{
+    Tensor a(Shape({1, 2}), {1, 2});
+    Tensor b(Shape({2, 2}), {3, 4, 5, 6});
+    Tensor c = ops::concat({a, b}, 0);
+    ASSERT_EQ(c.shape(), Shape({3, 2}));
+    EXPECT_FLOAT_EQ(c.at(2, 1), 6.0f);
+}
+
+TEST(ShapeOps, ReverseAxisIsInvolution)
+{
+    Rng rng(37);
+    Tensor a = Tensor::uniform(Shape({3, 2, 2}), rng);
+    Tensor r = ops::reverseAxis(a, 0);
+    EXPECT_FLOAT_EQ(r.at(0, 1, 1), a.at(2, 1, 1));
+    Tensor rr = ops::reverseAxis(r, 0);
+    for (int64_t i = 0; i < a.numel(); ++i)
+        EXPECT_FLOAT_EQ(rr.at(i), a.at(i));
+}
+
+// ----------------------------------------------------------------------
+// NN ops
+// ----------------------------------------------------------------------
+
+TEST(NN, SoftmaxRowsSumToOne)
+{
+    Rng rng(41);
+    Tensor x = Tensor::uniform(Shape({4, 7}), rng, -5.0f, 5.0f);
+    Tensor y = ops::softmaxLastAxis(x);
+    for (int64_t r = 0; r < 4; ++r) {
+        double s = 0.0;
+        for (int64_t j = 0; j < 7; ++j) {
+            EXPECT_GT(y.at(r, j), 0.0f);
+            s += y.at(r, j);
+        }
+        EXPECT_NEAR(s, 1.0, 1e-5);
+    }
+}
+
+TEST(NN, SoftmaxIsShiftInvariantAndStable)
+{
+    Tensor x(Shape({1, 3}), {1000.0f, 1001.0f, 1002.0f});
+    Tensor y = ops::softmaxLastAxis(x);
+    EXPECT_TRUE(y.allFinite());
+    Tensor x2(Shape({1, 3}), {0.0f, 1.0f, 2.0f});
+    Tensor y2 = ops::softmaxLastAxis(x2);
+    for (int64_t i = 0; i < 3; ++i)
+        EXPECT_NEAR(y.at(i), y2.at(i), 1e-5);
+}
+
+TEST(NN, LogSoftmaxMatchesLogOfSoftmax)
+{
+    Rng rng(43);
+    Tensor x = Tensor::uniform(Shape({2, 5}), rng, -3.0f, 3.0f);
+    Tensor ls = ops::logSoftmaxLastAxis(x);
+    Tensor s = ops::softmaxLastAxis(x);
+    for (int64_t i = 0; i < x.numel(); ++i)
+        EXPECT_NEAR(ls.at(i), std::log(s.at(i)), 1e-5);
+}
+
+TEST(NN, CrossEntropyUniformLogitsIsLogV)
+{
+    Tensor logits = Tensor::zeros(Shape({4, 10}));
+    Tensor labels(Shape({4}), {0, 3, 5, 9});
+    Tensor loss = ops::crossEntropy(logits, labels);
+    EXPECT_NEAR(loss.at(0), std::log(10.0), 1e-5);
+}
+
+TEST(NN, CrossEntropyIgnoresPadding)
+{
+    Tensor logits = Tensor::zeros(Shape({2, 4}));
+    logits.at(0, 1) = 10.0f;
+    Tensor labels(Shape({2}), {1.0f, -1.0f});
+    Tensor loss = ops::crossEntropy(logits, labels);
+    EXPECT_LT(loss.at(0), 0.01f);
+}
+
+TEST(NN, CrossEntropyGradSumsToZeroPerRow)
+{
+    Rng rng(47);
+    Tensor logits = Tensor::uniform(Shape({3, 6}), rng, -2.0f, 2.0f);
+    Tensor labels(Shape({3}), {0, 2, 5});
+    Tensor g = ops::crossEntropyGrad(logits, labels);
+    for (int64_t r = 0; r < 3; ++r) {
+        double s = 0.0;
+        for (int64_t j = 0; j < 6; ++j)
+            s += g.at(r, j);
+        EXPECT_NEAR(s, 0.0, 1e-5);
+    }
+}
+
+TEST(NN, LayerNormNormalizesRows)
+{
+    Rng rng(53);
+    Tensor x = Tensor::uniform(Shape({3, 16}), rng, -4.0f, 4.0f);
+    Tensor y = ops::layerNormLastAxis(x);
+    for (int64_t r = 0; r < 3; ++r) {
+        double mean = 0.0, var = 0.0;
+        for (int64_t j = 0; j < 16; ++j)
+            mean += y.at(r, j);
+        mean /= 16.0;
+        for (int64_t j = 0; j < 16; ++j)
+            var += (y.at(r, j) - mean) * (y.at(r, j) - mean);
+        var /= 16.0;
+        EXPECT_NEAR(mean, 0.0, 1e-4);
+        EXPECT_NEAR(var, 1.0, 1e-2);
+    }
+}
+
+TEST(NN, EmbeddingLookupAndGrad)
+{
+    Tensor table(Shape({3, 2}), {0, 1, 10, 11, 20, 21});
+    Tensor ids(Shape({2, 2}), {2, 0, 1, 2});
+    Tensor y = ops::embeddingLookup(table, ids);
+    ASSERT_EQ(y.shape(), Shape({2, 2, 2}));
+    EXPECT_FLOAT_EQ(y.at(0, 0, 0), 20.0f);
+    EXPECT_FLOAT_EQ(y.at(1, 0, 1), 11.0f);
+
+    Tensor dy = Tensor::full(Shape({2, 2, 2}), 1.0f);
+    Tensor dt = ops::embeddingGrad(table, ids, dy);
+    // Token 2 appears twice -> each of its columns accumulates 2.
+    EXPECT_FLOAT_EQ(dt.at(2, 0), 2.0f);
+    EXPECT_FLOAT_EQ(dt.at(0, 0), 1.0f);
+}
+
+TEST(NN, EmbeddingPaddingGivesZeroVector)
+{
+    Tensor table(Shape({2, 2}), {1, 2, 3, 4});
+    Tensor ids(Shape({2}), {-1.0f, 1.0f});
+    Tensor y = ops::embeddingLookup(table, ids);
+    EXPECT_FLOAT_EQ(y.at(0, 0), 0.0f);
+    EXPECT_FLOAT_EQ(y.at(1, 1), 4.0f);
+}
+
+} // namespace
+} // namespace echo

@@ -1,0 +1,271 @@
+/**
+ * @file
+ * Tests for the training infrastructure: optimizers, metrics
+ * (perplexity/BLEU), the training loop (loss actually decreases on the
+ * synthetic corpora), and the iteration profiler.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/batcher.h"
+#include "graph/executor.h"
+#include "models/nmt.h"
+#include "models/word_lm.h"
+#include "train/metrics.h"
+#include "train/optimizer.h"
+#include "train/nmt_eval.h"
+#include "train/simulation.h"
+#include "train/trainer.h"
+
+namespace echo::train {
+namespace {
+
+TEST(Metrics, PerplexityIsExpOfLoss)
+{
+    EXPECT_NEAR(perplexity(std::log(100.0)), 100.0, 1e-6);
+    EXPECT_NEAR(perplexity(0.0), 1.0, 1e-12);
+}
+
+TEST(Metrics, BleuPerfectMatchIs100)
+{
+    std::vector<std::vector<int64_t>> hyp = {{1, 2, 3, 4, 5}};
+    EXPECT_NEAR(corpusBleu(hyp, hyp), 100.0, 1e-9);
+}
+
+TEST(Metrics, BleuZeroOnDisjoint)
+{
+    std::vector<std::vector<int64_t>> hyp = {{1, 2, 3, 4}};
+    std::vector<std::vector<int64_t>> ref = {{5, 6, 7, 8}};
+    EXPECT_DOUBLE_EQ(corpusBleu(hyp, ref), 0.0);
+}
+
+TEST(Metrics, BleuBrevityPenaltyApplies)
+{
+    // A correct but short hypothesis scores below a full-length one.
+    std::vector<std::vector<int64_t>> ref = {{1, 2, 3, 4, 5, 6, 7, 8}};
+    std::vector<std::vector<int64_t>> full = {{1, 2, 3, 4, 5, 6, 7, 8}};
+    std::vector<std::vector<int64_t>> part = {{1, 2, 3, 4, 5}};
+    EXPECT_LT(corpusBleu(part, ref), corpusBleu(full, ref));
+    EXPECT_GT(corpusBleu(part, ref), 0.0);
+}
+
+TEST(Metrics, BleuOrderSensitivity)
+{
+    std::vector<std::vector<int64_t>> ref = {{1, 2, 3, 4, 5, 6}};
+    std::vector<std::vector<int64_t>> shuffled = {{6, 4, 2, 1, 3, 5}};
+    EXPECT_LT(corpusBleu(shuffled, ref), 20.0);
+}
+
+TEST(Optimizer, SgdDescendsQuadratic)
+{
+    // One-parameter bowl: L = 0.5 * w^2, grad = w.
+    models::NamedWeights weights;
+    graph::Graph g;
+    const graph::Val w = g.weight(Shape({1}), "w");
+    weights.emplace_back("w", w);
+    ParamStore params;
+    params["w"] = Tensor(Shape({1}), {10.0f});
+
+    SgdOptimizer opt(0.1, 0.0, 0.0);
+    for (int i = 0; i < 50; ++i) {
+        std::vector<Tensor> grads = {
+            Tensor(Shape({1}), {params["w"].at(0)})};
+        opt.step(params, weights, grads);
+    }
+    EXPECT_LT(std::abs(params["w"].at(0)), 0.1f);
+}
+
+TEST(Optimizer, MomentumAcceleratesDescent)
+{
+    graph::Graph g;
+    models::NamedWeights weights;
+    weights.emplace_back("w", g.weight(Shape({1}), "w"));
+
+    auto run = [&](double momentum) {
+        ParamStore params;
+        params["w"] = Tensor(Shape({1}), {10.0f});
+        SgdOptimizer opt(0.02, momentum, 0.0);
+        for (int i = 0; i < 30; ++i) {
+            std::vector<Tensor> grads = {
+                Tensor(Shape({1}), {params["w"].at(0)})};
+            opt.step(params, weights, grads);
+        }
+        return std::abs(params["w"].at(0));
+    };
+    EXPECT_LT(run(0.9), run(0.0));
+}
+
+TEST(Optimizer, ClippingBoundsStep)
+{
+    graph::Graph g;
+    models::NamedWeights weights;
+    weights.emplace_back("w", g.weight(Shape({1}), "w"));
+    ParamStore params;
+    params["w"] = Tensor(Shape({1}), {0.0f});
+
+    SgdOptimizer opt(1.0, 0.0, 1.0); // clip to norm 1
+    std::vector<Tensor> grads = {Tensor(Shape({1}), {1000.0f})};
+    const double norm = opt.step(params, weights, grads);
+    EXPECT_NEAR(norm, 1000.0, 1e-6);
+    EXPECT_NEAR(params["w"].at(0), -1.0f, 1e-5);
+}
+
+TEST(Optimizer, AdamDescendsQuadratic)
+{
+    graph::Graph g;
+    models::NamedWeights weights;
+    weights.emplace_back("w", g.weight(Shape({1}), "w"));
+    ParamStore params;
+    params["w"] = Tensor(Shape({1}), {5.0f});
+
+    AdamOptimizer opt(0.3);
+    for (int i = 0; i < 100; ++i) {
+        std::vector<Tensor> grads = {
+            Tensor(Shape({1}), {params["w"].at(0)})};
+        opt.step(params, weights, grads);
+    }
+    EXPECT_LT(std::abs(params["w"].at(0)), 0.5f);
+}
+
+TEST(Optimizer, GlobalNormAggregates)
+{
+    std::vector<Tensor> grads = {Tensor(Shape({2}), {3.0f, 0.0f}),
+                                 Tensor(Shape({1}), {4.0f})};
+    EXPECT_NEAR(globalNorm(grads), 5.0, 1e-9);
+}
+
+TEST(Trainer, WordLmLossDecreases)
+{
+    models::WordLmConfig cfg;
+    cfg.vocab = 30;
+    cfg.hidden = 16;
+    cfg.layers = 1;
+    cfg.batch = 8;
+    cfg.seq_len = 8;
+    cfg.backend = rnn::RnnBackend::kCudnn; // fused = fewer CPU ops
+    models::WordLmModel model(cfg);
+
+    data::CorpusConfig ccfg;
+    ccfg.vocab = data::Vocab{30};
+    ccfg.num_tokens = 20000;
+    ccfg.structure = 0.9;
+    ccfg.seed = 13;
+    data::Corpus corpus = data::Corpus::generate(ccfg);
+    data::LmBatcher batcher(corpus, cfg.batch, cfg.seq_len);
+
+    Rng rng(17);
+    ParamStore params = model.initialParams(rng);
+    SgdOptimizer opt(0.5, 0.9);
+
+    graph::Executor ex(model.fetches());
+    TrainLoopConfig loop;
+    loop.iterations = 80;
+    loop.seconds_per_iteration = 0.01;
+    const auto curve = runTrainingLoop(
+        ex, loop,
+        [&](int64_t) { return model.makeFeed(params, batcher.next()); },
+        [&](double, const std::vector<Tensor> &grads) {
+            opt.step(params, model.weights(), grads);
+        });
+
+    ASSERT_EQ(curve.size(), 80u);
+    // Perplexity at the end is much lower than at the start.
+    const double first = curve.front().perplexity;
+    const double last = curve.back().perplexity;
+    EXPECT_LT(last, first * 0.6);
+    // Time axis advances uniformly.
+    EXPECT_NEAR(curve.back().wall_seconds, 0.8, 1e-9);
+}
+
+TEST(Trainer, SpeedometerMatchesDefinition)
+{
+    EXPECT_NEAR(speedometer(128, 0.5), 256.0, 1e-9);
+}
+
+TEST(Simulation, ProfileBundlesRuntimeMemoryPower)
+{
+    models::WordLmConfig cfg;
+    cfg.vocab = 100;
+    cfg.hidden = 32;
+    cfg.layers = 1;
+    cfg.batch = 8;
+    cfg.seq_len = 10;
+    models::WordLmModel model(cfg);
+
+    const IterationProfile prof =
+        profileIteration(model.fetches(), model.weightGrads());
+    EXPECT_GT(prof.runtime.wall_time_us, 0.0);
+    EXPECT_GT(prof.memory.device_bytes, 0);
+    EXPECT_GT(prof.avg_power_w, 50.0);
+    EXPECT_TRUE(prof.fits);
+    EXPECT_GT(prof.throughput(cfg.batch), 0.0);
+}
+
+TEST(Simulation, CapacityCheckFlagsOversizedModels)
+{
+    models::NmtConfig cfg;
+    cfg.hidden = 512;
+    cfg.batch = 256;
+    cfg.src_len = 100;
+    cfg.tgt_len = 100;
+    models::NmtModel model(cfg);
+    const IterationProfile prof =
+        profileIteration(model.fetches(), model.weightGrads());
+    // B=256 legacy NMT cannot fit in 12 GB (the paper's memory wall).
+    EXPECT_FALSE(prof.fits);
+}
+
+
+TEST(NmtEval, BucketsAreNormalizedAndCapped)
+{
+    const auto buckets = iwsltBuckets();
+    double total = 0.0;
+    int64_t max_len = 0;
+    for (const auto &b : buckets) {
+        EXPECT_GT(b.weight, 0.0);
+        total += b.weight;
+        max_len = std::max(max_len, b.length);
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+    EXPECT_EQ(max_len, 100); // the hyperparameters' max bucket
+}
+
+TEST(NmtEval, MemoryComesFromMaxBucketAndPassReducesIt)
+{
+    models::NmtConfig cfg;
+    cfg.batch = 32; // reduced scale to keep the test fast
+    const std::vector<LengthBucket> buckets = {{10, 0.6}, {30, 0.4}};
+
+    NmtEvalOptions off;
+    const auto base = profileNmtBucketed(cfg, buckets, off);
+    EXPECT_GT(base.throughput, 0.0);
+    ASSERT_EQ(base.per_bucket.size(), 2u);
+    // The reported footprint is the larger bucket's.
+    EXPECT_EQ(base.device_bytes,
+              std::max(base.per_bucket[0].memory.device_bytes,
+                       base.per_bucket[1].memory.device_bytes));
+
+    NmtEvalOptions eco;
+    eco.policy = pass::PassConfig::Policy::kManual;
+    const auto passed = profileNmtBucketed(cfg, buckets, eco);
+    EXPECT_LT(passed.device_bytes, base.device_bytes);
+    EXPECT_GT(passed.replay_fraction, 0.0);
+    EXPECT_LT(passed.replay_fraction, 0.2);
+}
+
+TEST(NmtEval, MeanIterationTimeIsWeighted)
+{
+    models::NmtConfig cfg;
+    cfg.batch = 32;
+    const std::vector<LengthBucket> buckets = {{10, 0.5}, {30, 0.5}};
+    const auto prof = profileNmtBucketed(cfg, buckets, {});
+    const double expected =
+        0.5 * prof.per_bucket[0].iterationSeconds() +
+        0.5 * prof.per_bucket[1].iterationSeconds();
+    EXPECT_NEAR(prof.mean_iteration_seconds, expected, 1e-12);
+    EXPECT_NEAR(prof.throughput, 32.0 / expected, 1e-6);
+}
+
+} // namespace
+} // namespace echo::train

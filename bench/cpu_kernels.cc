@@ -6,43 +6,112 @@
  * results — those come from the analytical model in the fig* benches):
  * useful for keeping the executor fast enough to drive the numeric
  * training experiments.
+ *
+ * The GEMM family covers all four transpose combinations at sizes up
+ * to 512, the naive reference kernel as the pre-blocking baseline, and
+ * a thread-scaling sweep (the `threads` counter labels each run; on a
+ * single-core host the sweep is flat and the speedup over the seed
+ * comes entirely from blocking + packing + SIMD).
+ *
+ * To record results for EXPERIMENTS.md:
+ *
+ *   ./bench/cpu_kernels --benchmark_out=results/BENCH_cpu_kernels.json \
+ *                       --benchmark_out_format=json
  */
 #include <benchmark/benchmark.h>
 
 #include "core/rng.h"
+#include "core/thread_pool.h"
 #include "tensor/ops.h"
 
 using namespace echo;
 
 namespace {
 
+/** Square GEMM inputs for a given transpose combination. */
+std::pair<Tensor, Tensor>
+gemmOperands(int64_t n, Rng &rng)
+{
+    return {Tensor::uniform(Shape({n, n}), rng),
+            Tensor::uniform(Shape({n, n}), rng)};
+}
+
 void
-BM_GemmNN(benchmark::State &state)
+gemmBench(benchmark::State &state, bool ta, bool tb)
 {
     const int64_t n = state.range(0);
     Rng rng(1);
-    const Tensor a = Tensor::uniform(Shape({n, n}), rng);
-    const Tensor b = Tensor::uniform(Shape({n, n}), rng);
+    const auto [a, b] = gemmOperands(n, rng);
     for (auto _ : state) {
-        benchmark::DoNotOptimize(ops::gemm(a, false, b, false));
+        benchmark::DoNotOptimize(ops::gemm(a, ta, b, tb));
     }
     state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
 }
-BENCHMARK(BM_GemmNN)->Arg(32)->Arg(64)->Arg(128);
+
+void
+BM_GemmNN(benchmark::State &state)
+{
+    gemmBench(state, false, false);
+}
+BENCHMARK(BM_GemmNN)->Arg(32)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
 
 void
 BM_GemmNT(benchmark::State &state)
 {
+    gemmBench(state, false, true);
+}
+BENCHMARK(BM_GemmNT)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
+
+void
+BM_GemmTN(benchmark::State &state)
+{
+    gemmBench(state, true, false);
+}
+BENCHMARK(BM_GemmTN)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
+
+void
+BM_GemmTT(benchmark::State &state)
+{
+    gemmBench(state, true, true);
+}
+BENCHMARK(BM_GemmTT)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
+
+/** The naive triple-loop kernel the blocked GEMM replaced. */
+void
+BM_GemmReferenceNN(benchmark::State &state)
+{
     const int64_t n = state.range(0);
     Rng rng(1);
-    const Tensor a = Tensor::uniform(Shape({n, n}), rng);
-    const Tensor b = Tensor::uniform(Shape({n, n}), rng);
+    const auto [a, b] = gemmOperands(n, rng);
     for (auto _ : state) {
-        benchmark::DoNotOptimize(ops::gemm(a, false, b, true));
+        benchmark::DoNotOptimize(ops::gemmReference(a, false, b, false));
     }
     state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
 }
-BENCHMARK(BM_GemmNT)->Arg(64)->Arg(128);
+BENCHMARK(BM_GemmReferenceNN)->Arg(64)->Arg(128)->Arg(256);
+
+/**
+ * Threaded-vs-serial comparison: the same 256^3 GEMM under different
+ * global pool sizes.  items_per_second at threads=1 vs threads=N is
+ * the threading speedup (chunking is value-preserving, so the outputs
+ * are identical).
+ */
+void
+BM_GemmThreadScaling(benchmark::State &state)
+{
+    const int64_t n = 256;
+    const int threads = static_cast<int>(state.range(0));
+    ThreadPool::setGlobalNumThreads(threads);
+    Rng rng(1);
+    const auto [a, b] = gemmOperands(n, rng);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(ops::gemm(a, false, b, false));
+    }
+    state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+    state.counters["threads"] = threads;
+    ThreadPool::setGlobalNumThreads(ThreadPool::defaultNumThreads());
+}
+BENCHMARK(BM_GemmThreadScaling)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 void
 BM_Tanh(benchmark::State &state)
@@ -55,7 +124,7 @@ BM_Tanh(benchmark::State &state)
     }
     state.SetItemsProcessed(state.iterations() * n);
 }
-BENCHMARK(BM_Tanh)->Arg(1 << 10)->Arg(1 << 16);
+BENCHMARK(BM_Tanh)->Arg(1 << 10)->Arg(1 << 16)->Arg(1 << 20);
 
 void
 BM_SoftmaxRows(benchmark::State &state)

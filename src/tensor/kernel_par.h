@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Internal helpers for parallelizing tensor kernels (not part of the
+ * public ops.h surface).
+ *
+ * Every helper preserves the determinism contract: chunking only
+ * decides which thread computes an output range, never the order of
+ * floating-point operations that produce a given element, so results
+ * are byte-identical for every ECHO_NUM_THREADS.  Kernels below the
+ * element threshold run serially — the pool hand-off (~a few µs) would
+ * dominate tiny tensors, and the serial path keeps single-step
+ * debugging trivial.
+ */
+#ifndef ECHO_TENSOR_KERNEL_PAR_H
+#define ECHO_TENSOR_KERNEL_PAR_H
+
+#include <cstdint>
+
+#include "core/thread_pool.h"
+
+namespace echo::ops::detail {
+
+/** Minimum elements per parallelFor chunk (also the serial threshold). */
+constexpr int64_t kParGrainElems = int64_t(1) << 13;
+
+/**
+ * Split [0, count) units of @p unit_elems elements each across the
+ * pool, keeping at least kParGrainElems elements per chunk.  Units are
+ * flat element ranges (unit_elems == 1) or rows of a row-wise kernel.
+ */
+template <typename Fn>
+inline void
+parallelUnits(int64_t count, int64_t unit_elems, Fn &&fn)
+{
+    const int64_t per_unit = unit_elems < 1 ? 1 : unit_elems;
+    const int64_t grain = kParGrainElems / per_unit < 1
+                              ? 1
+                              : kParGrainElems / per_unit;
+    ThreadPool::global().parallelFor(0, count, grain,
+                                     static_cast<Fn &&>(fn));
+}
+
+} // namespace echo::ops::detail
+
+#endif // ECHO_TENSOR_KERNEL_PAR_H

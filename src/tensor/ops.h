@@ -33,6 +33,15 @@ Tensor gemm(const Tensor &a, bool trans_a, const Tensor &b, bool trans_b,
             float alpha = 1.0f);
 
 /**
+ * Naive triple-loop GEMM kept as the golden reference for the blocked
+ * kernel: tests compare every transpose combination against it, and
+ * bench/cpu_kernels times it as the "seed" baseline.  Do not use on a
+ * hot path.
+ */
+Tensor gemmReference(const Tensor &a, bool trans_a, const Tensor &b,
+                     bool trans_b, float alpha = 1.0f);
+
+/**
  * Batched matrix multiply over the leading axis:
  * C[b] = op(A[b]) * op(B[b]) for 3-D A, B.
  */

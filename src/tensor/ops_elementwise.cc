@@ -1,13 +1,20 @@
 #include <cmath>
 
 #include "core/logging.h"
+#include "tensor/kernel_par.h"
 #include "tensor/ops.h"
 
 namespace echo::ops {
 
 namespace {
 
-/** Apply a binary functor element-wise; shapes must match exactly. */
+using detail::parallelUnits;
+
+/**
+ * Apply a binary functor element-wise; shapes must match exactly.
+ * Element-parallel: every output element depends only on the matching
+ * input elements, so chunking cannot change any value.
+ */
 template <typename F>
 Tensor
 zipWith(const Tensor &a, const Tensor &b, F f, const char *what)
@@ -18,13 +25,14 @@ zipWith(const Tensor &a, const Tensor &b, F f, const char *what)
     const float *pa = a.data();
     const float *pb = b.data();
     float *pc = c.data();
-    const int64_t n = a.numel();
-    for (int64_t i = 0; i < n; ++i)
-        pc[i] = f(pa[i], pb[i]);
+    parallelUnits(a.numel(), 1, [=](int64_t i0, int64_t i1) {
+        for (int64_t i = i0; i < i1; ++i)
+            pc[i] = f(pa[i], pb[i]);
+    });
     return c;
 }
 
-/** Apply a unary functor element-wise. */
+/** Apply a unary functor element-wise (element-parallel). */
 template <typename F>
 Tensor
 mapWith(const Tensor &a, F f)
@@ -32,9 +40,10 @@ mapWith(const Tensor &a, F f)
     Tensor c(a.shape());
     const float *pa = a.data();
     float *pc = c.data();
-    const int64_t n = a.numel();
-    for (int64_t i = 0; i < n; ++i)
-        pc[i] = f(pa[i]);
+    parallelUnits(a.numel(), 1, [=](int64_t i0, int64_t i1) {
+        for (int64_t i = i0; i < i1; ++i)
+            pc[i] = f(pa[i]);
+    });
     return c;
 }
 
@@ -117,9 +126,10 @@ accumulateInto(Tensor &dst, const Tensor &src)
                  "accumulateInto shape mismatch");
     float *pd = dst.data();
     const float *ps = src.data();
-    const int64_t n = dst.numel();
-    for (int64_t i = 0; i < n; ++i)
-        pd[i] += ps[i];
+    parallelUnits(dst.numel(), 1, [=](int64_t i0, int64_t i1) {
+        for (int64_t i = i0; i < i1; ++i)
+            pd[i] += ps[i];
+    });
 }
 
 Tensor
@@ -133,9 +143,11 @@ addBias(const Tensor &a, const Tensor &bias)
     const float *pb = bias.data();
     float *pc = c.data();
     const int64_t rows = a.numel() / n;
-    for (int64_t r = 0; r < rows; ++r)
-        for (int64_t j = 0; j < n; ++j)
-            pc[r * n + j] = pa[r * n + j] + pb[j];
+    parallelUnits(rows, n, [=](int64_t r0, int64_t r1) {
+        for (int64_t r = r0; r < r1; ++r)
+            for (int64_t j = 0; j < n; ++j)
+                pc[r * n + j] = pa[r * n + j] + pb[j];
+    });
     return c;
 }
 
@@ -147,9 +159,14 @@ sumToBias(const Tensor &a, int64_t n)
     const float *pa = a.data();
     float *pc = c.data();
     const int64_t rows = a.numel() / n;
-    for (int64_t r = 0; r < rows; ++r)
-        for (int64_t j = 0; j < n; ++j)
-            pc[j] += pa[r * n + j];
+    // Column-parallel: each chunk owns a j-range of the output and walks
+    // the rows in increasing order, so per-column accumulation order is
+    // the serial order regardless of the chunking.
+    parallelUnits(n, rows, [=](int64_t j0, int64_t j1) {
+        for (int64_t r = 0; r < rows; ++r)
+            for (int64_t j = j0; j < j1; ++j)
+                pc[j] += pa[r * n + j];
+    });
     return c;
 }
 
@@ -164,15 +181,18 @@ broadcastAddBT(const Tensor &x, const Tensor &q)
     ECHO_REQUIRE(q.shape()[0] == b && q.shape()[1] == h,
                  "broadcastAddBT operand mismatch");
     Tensor c(x.shape());
-    for (int64_t i = 0; i < b; ++i) {
-        const float *pq = q.data() + i * h;
-        for (int64_t s = 0; s < t; ++s) {
-            const float *px = x.data() + (i * t + s) * h;
-            float *pc = c.data() + (i * t + s) * h;
+    const float *px_base = x.data();
+    const float *pq_base = q.data();
+    float *pc_base = c.data();
+    parallelUnits(b * t, h, [=](int64_t r0, int64_t r1) {
+        for (int64_t r = r0; r < r1; ++r) {
+            const float *pq = pq_base + (r / t) * h;
+            const float *px = px_base + r * h;
+            float *pc = pc_base + r * h;
             for (int64_t j = 0; j < h; ++j)
                 pc[j] = px[j] + pq[j];
         }
-    }
+    });
     return c;
 }
 
@@ -184,10 +204,16 @@ sumAxis1(const Tensor &x)
     const int64_t t = x.shape()[1];
     const int64_t h = x.shape()[2];
     Tensor c = Tensor::zeros(Shape({b, h}));
-    for (int64_t i = 0; i < b; ++i)
-        for (int64_t s = 0; s < t; ++s)
-            for (int64_t j = 0; j < h; ++j)
-                c.data()[i * h + j] += x.data()[(i * t + s) * h + j];
+    const float *px = x.data();
+    float *pc = c.data();
+    // Batch-parallel: each output row [i, :] is owned by one chunk and
+    // accumulated over s in serial order.
+    parallelUnits(b, t * h, [=](int64_t i0, int64_t i1) {
+        for (int64_t i = i0; i < i1; ++i)
+            for (int64_t s = 0; s < t; ++s)
+                for (int64_t j = 0; j < h; ++j)
+                    pc[i * h + j] += px[(i * t + s) * h + j];
+    });
     return c;
 }
 
@@ -201,12 +227,16 @@ sumLastAxis(const Tensor &x)
     if (out_shape.ndim() == 0)
         out_shape = Shape({1});
     Tensor c = Tensor::zeros(out_shape);
-    for (int64_t r = 0; r < rows; ++r) {
-        double acc = 0.0;
-        for (int64_t j = 0; j < n; ++j)
-            acc += x.data()[r * n + j];
-        c.data()[r] = static_cast<float>(acc);
-    }
+    const float *px = x.data();
+    float *pc = c.data();
+    parallelUnits(rows, n, [=](int64_t r0, int64_t r1) {
+        for (int64_t r = r0; r < r1; ++r) {
+            double acc = 0.0;
+            for (int64_t j = 0; j < n; ++j)
+                acc += px[r * n + j];
+            pc[r] = static_cast<float>(acc);
+        }
+    });
     return c;
 }
 
@@ -219,12 +249,17 @@ dotLastAxis(const Tensor &x, const Tensor &v)
     const int64_t rows = x.numel() / h;
     Shape out_shape = x.shape().dropAxis(x.shape().ndim() - 1);
     Tensor c(out_shape);
-    for (int64_t r = 0; r < rows; ++r) {
-        double acc = 0.0;
-        for (int64_t j = 0; j < h; ++j)
-            acc += x.data()[r * h + j] * v.data()[j];
-        c.data()[r] = static_cast<float>(acc);
-    }
+    const float *px = x.data();
+    const float *pv = v.data();
+    float *pc = c.data();
+    parallelUnits(rows, h, [=](int64_t r0, int64_t r1) {
+        for (int64_t r = r0; r < r1; ++r) {
+            double acc = 0.0;
+            for (int64_t j = 0; j < h; ++j)
+                acc += px[r * h + j] * pv[j];
+            pc[r] = static_cast<float>(acc);
+        }
+    });
     return c;
 }
 
@@ -236,9 +271,14 @@ outerLastAxis(const Tensor &s, const Tensor &v)
     const int64_t rows = s.numel();
     Shape out_shape = s.shape().insertAxis(s.shape().ndim(), h);
     Tensor c(out_shape);
-    for (int64_t r = 0; r < rows; ++r)
-        for (int64_t j = 0; j < h; ++j)
-            c.data()[r * h + j] = s.data()[r] * v.data()[j];
+    const float *ps = s.data();
+    const float *pv = v.data();
+    float *pc = c.data();
+    parallelUnits(rows, h, [=](int64_t r0, int64_t r1) {
+        for (int64_t r = r0; r < r1; ++r)
+            for (int64_t j = 0; j < h; ++j)
+                pc[r * h + j] = ps[r] * pv[j];
+    });
     return c;
 }
 
@@ -253,13 +293,16 @@ scaleRowsBT(const Tensor &x, const Tensor &w)
     ECHO_REQUIRE(w.shape()[0] == b && w.shape()[1] == t,
                  "scaleRowsBT weight mismatch");
     Tensor c(x.shape());
-    for (int64_t i = 0; i < b; ++i)
-        for (int64_t s = 0; s < t; ++s) {
-            const float ws = w.data()[i * t + s];
+    const float *px = x.data();
+    const float *pw = w.data();
+    float *pc = c.data();
+    parallelUnits(b * t, h, [=](int64_t r0, int64_t r1) {
+        for (int64_t r = r0; r < r1; ++r) {
+            const float ws = pw[r];
             for (int64_t j = 0; j < h; ++j)
-                c.data()[(i * t + s) * h + j] =
-                    ws * x.data()[(i * t + s) * h + j];
+                pc[r * h + j] = ws * px[r * h + j];
         }
+    });
     return c;
 }
 
@@ -272,14 +315,18 @@ rowDotBT(const Tensor &a, const Tensor &b)
     const int64_t t = a.shape()[1];
     const int64_t h = a.shape()[2];
     Tensor c(Shape({bsz, t}));
-    for (int64_t i = 0; i < bsz; ++i)
-        for (int64_t s = 0; s < t; ++s) {
+    const float *pa = a.data();
+    const float *pb = b.data();
+    float *pc = c.data();
+    parallelUnits(bsz * t, h, [=](int64_t r0, int64_t r1) {
+        for (int64_t r = r0; r < r1; ++r) {
             double acc = 0.0;
-            const int64_t base = (i * t + s) * h;
+            const int64_t base = r * h;
             for (int64_t j = 0; j < h; ++j)
-                acc += a.data()[base + j] * b.data()[base + j];
-            c.data()[i * t + s] = static_cast<float>(acc);
+                acc += pa[base + j] * pb[base + j];
+            pc[r] = static_cast<float>(acc);
         }
+    });
     return c;
 }
 

@@ -1,38 +1,241 @@
+/**
+ * @file
+ * Cache-blocked, panel-packed, register-tiled GEMM.
+ *
+ * The kernel follows the classic GotoBLAS/BLIS decomposition:
+ *
+ *   for jc over N in kNc columns:          (B panel fits L2/L3)
+ *     for pc over K in kKc depth:          (packed panels fit cache)
+ *       pack B[pc:pc+kc, jc:jc+nc] into kNr-wide column micro-panels
+ *       parallel for ic over M in kMc rows:  (one row block per task)
+ *         pack alpha*A[ic:ic+mc, pc:pc+kc] into kMr-tall row panels
+ *         for each kMr x kNr tile: micro-kernel over the packed panels
+ *
+ * All four transpose combinations route through the same micro-kernel —
+ * the transposes are absorbed by the packing loops, so the hot loop is
+ * always unit-stride regardless of operand layout.  bmm() reuses the
+ * same kernel per batch item (parallel over the batch instead of over
+ * row blocks when the batch is large enough).
+ *
+ * Determinism contract: C is accumulated over pc panels in a fixed
+ * serial order and each C element is produced by exactly one row-block
+ * task, so results are byte-identical for every thread count and
+ * parallelFor chunking.  There is deliberately no data-dependent
+ * skipping (the seed kernel's `if (av == 0) continue;` made GEMM cost
+ * input-dependent and mispredicted in the hot loop).
+ *
+ * gemmReference() keeps the plain ikj loop as the golden model for
+ * tests and the threaded-vs-seed benchmark comparison.
+ */
+#include <algorithm>
 #include <cstring>
+#include <vector>
 
 #include "core/logging.h"
+#include "core/thread_pool.h"
 #include "tensor/ops.h"
+
+#if defined(__GNUC__) || defined(__clang__)
+#define ECHO_GEMM_RESTRICT __restrict__
+#else
+#define ECHO_GEMM_RESTRICT
+#endif
 
 namespace echo::ops {
 
 namespace {
 
+// Blocking parameters (floats): kMc*kKc = 64 KiB A block, kKc*kNc =
+// 512 KiB B panel — sized for a ~1 MiB-per-core L2.  The micro-tile is
+// kMr x kNr = 8 x 16 accumulators, which the compiler keeps in vector
+// registers (eight 512-bit rows; needs -mprefer-vector-width=512 on
+// AVX-512 hosts so the tile does not spill).
+constexpr int64_t kMc = 64;
+constexpr int64_t kKc = 256;
+constexpr int64_t kNc = 512;
+constexpr int64_t kMr = 8;
+constexpr int64_t kNr = 16;
+
+/** Only products with at least this many madds go multi-threaded. */
+constexpr int64_t kParallelMinMadds = int64_t(1) << 17;
+
+/** Logical element A'[i, p] of the [M x K] operand (A' = a or aᵀ). */
+inline float
+elemA(const float *a, bool trans_a, int64_t m, int64_t k, int64_t i,
+      int64_t p)
+{
+    return trans_a ? a[p * m + i] : a[i * k + p];
+}
+
+/** Logical element B'[p, j] of the [K x N] operand (B' = b or bᵀ). */
+inline float
+elemB(const float *b, bool trans_b, int64_t k, int64_t n, int64_t p,
+      int64_t j)
+{
+    return trans_b ? b[j * k + p] : b[p * n + j];
+}
+
 /**
- * Inner GEMM kernel over raw pointers: C[M x N] += A' * B' where A' is
- * A optionally transposed ([M x K] logical) and likewise B' ([K x N]).
- * Plain ikj loop — correctness over speed; the GPU model provides timing.
+ * Pack alpha * A'[ic:ic+mc, pc:pc+kc] into kMr-tall row micro-panels:
+ * panel r holds rows [r*kMr, r*kMr+kMr) depth-major, short tail rows
+ * zero-padded so the micro-kernel never branches on the row count.
  */
 void
-gemmKernel(const float *a, bool trans_a, const float *b, bool trans_b,
-           float *c, int64_t m, int64_t n, int64_t k, float alpha)
+packA(const float *a, bool trans_a, int64_t m, int64_t k, int64_t ic,
+      int64_t mc, int64_t pc, int64_t kc, float alpha, float *dst)
 {
-    for (int64_t i = 0; i < m; ++i) {
-        for (int64_t p = 0; p < k; ++p) {
-            const float av =
-                alpha * (trans_a ? a[p * m + i] : a[i * k + p]);
-            if (av == 0.0f)
-                continue;
-            const float *brow = trans_b ? b + p : b + p * n;
-            float *crow = c + i * n;
-            if (trans_b) {
-                for (int64_t j = 0; j < n; ++j)
-                    crow[j] += av * brow[j * k];
-            } else {
-                for (int64_t j = 0; j < n; ++j)
-                    crow[j] += av * brow[j];
+    for (int64_t ir = 0; ir < mc; ir += kMr) {
+        const int64_t h = std::min(kMr, mc - ir);
+        for (int64_t p = 0; p < kc; ++p) {
+            for (int64_t i = 0; i < kMr; ++i) {
+                *dst++ = i < h ? alpha * elemA(a, trans_a, m, k,
+                                               ic + ir + i, pc + p)
+                               : 0.0f;
             }
         }
     }
+}
+
+/**
+ * Pack B'[pc:pc+kc, jc:jc+nc] into kNr-wide column micro-panels with
+ * zero-padded tail columns.
+ */
+void
+packB(const float *b, bool trans_b, int64_t k, int64_t n, int64_t pc,
+      int64_t kc, int64_t jc, int64_t nc, float *dst)
+{
+    for (int64_t jr = 0; jr < nc; jr += kNr) {
+        const int64_t w = std::min(kNr, nc - jr);
+        for (int64_t p = 0; p < kc; ++p) {
+            for (int64_t j = 0; j < kNr; ++j) {
+                *dst++ = j < w ? elemB(b, trans_b, k, n, pc + p,
+                                       jc + jr + j)
+                               : 0.0f;
+            }
+        }
+    }
+}
+
+/**
+ * C[0:h, 0:w] += Apanel * Bpanel over @p kc depth.  The accumulator
+ * tile lives in registers; the panels are read unit-stride.
+ */
+void
+microKernel(const float *ECHO_GEMM_RESTRICT ap,
+            const float *ECHO_GEMM_RESTRICT bp, int64_t kc,
+            float *ECHO_GEMM_RESTRICT c, int64_t ldc, int64_t h,
+            int64_t w)
+{
+    // One named accumulator row per A row: the j-loop is the single
+    // innermost loop — unit-stride, no cross-iteration dependence —
+    // which the auto-vectorizer turns into plain vector FMAs.  (A
+    // 2-D acc[i][j] tile with an inner i-loop trips GCC into an SLP
+    // shuffle storm across rows instead.)
+    static_assert(kMr == 8, "micro-kernel is unrolled for kMr == 8");
+    float acc0[kNr] = {}, acc1[kNr] = {}, acc2[kNr] = {},
+          acc3[kNr] = {}, acc4[kNr] = {}, acc5[kNr] = {},
+          acc6[kNr] = {}, acc7[kNr] = {};
+    for (int64_t p = 0; p < kc; ++p) {
+        const float *ECHO_GEMM_RESTRICT brow = bp + p * kNr;
+        const float *ECHO_GEMM_RESTRICT arow = ap + p * kMr;
+        for (int64_t j = 0; j < kNr; ++j) {
+            const float bv = brow[j];
+            acc0[j] += arow[0] * bv;
+            acc1[j] += arow[1] * bv;
+            acc2[j] += arow[2] * bv;
+            acc3[j] += arow[3] * bv;
+            acc4[j] += arow[4] * bv;
+            acc5[j] += arow[5] * bv;
+            acc6[j] += arow[6] * bv;
+            acc7[j] += arow[7] * bv;
+        }
+    }
+    const float *acc[kMr] = {acc0, acc1, acc2, acc3,
+                             acc4, acc5, acc6, acc7};
+    for (int64_t i = 0; i < h; ++i) {
+        float *crow = c + i * ldc;
+        for (int64_t j = 0; j < w; ++j)
+            crow[j] += acc[i][j];
+    }
+}
+
+/**
+ * Blocked GEMM body: C[M x N] += alpha * A' * B' over raw pointers.
+ * @p parallel allows splitting row blocks across the thread pool
+ * (bmm passes false when it already parallelizes over the batch).
+ */
+void
+gemmBlocked(const float *a, bool trans_a, const float *b, bool trans_b,
+            float *c, int64_t m, int64_t n, int64_t k, float alpha,
+            bool parallel)
+{
+    if (m <= 0 || n <= 0 || k <= 0)
+        return;
+
+    const int64_t row_blocks = (m + kMc - 1) / kMc;
+    const bool go_parallel =
+        parallel && row_blocks > 1 && m * n * k >= kParallelMinMadds;
+
+    std::vector<float> bpack(static_cast<size_t>(
+        kKc * ((std::min(kNc, n) + kNr - 1) / kNr * kNr)));
+
+    for (int64_t jc = 0; jc < n; jc += kNc) {
+        const int64_t nc = std::min(kNc, n - jc);
+        for (int64_t pc = 0; pc < k; pc += kKc) {
+            const int64_t kc = std::min(kKc, k - pc);
+            packB(b, trans_b, k, n, pc, kc, jc, nc, bpack.data());
+
+            auto row_block = [&](int64_t blk_begin, int64_t blk_end) {
+                // Reused across calls on the same thread; per-thread so
+                // concurrent row blocks never share a pack buffer.
+                thread_local std::vector<float> apack;
+                apack.resize(static_cast<size_t>(kMc * kKc));
+                for (int64_t blk = blk_begin; blk < blk_end; ++blk) {
+                    const int64_t ic = blk * kMc;
+                    const int64_t mc = std::min(kMc, m - ic);
+                    packA(a, trans_a, m, k, ic, mc, pc, kc, alpha,
+                          apack.data());
+                    for (int64_t jr = 0; jr < nc; jr += kNr) {
+                        const int64_t w = std::min(kNr, nc - jr);
+                        const float *bp =
+                            bpack.data() + (jr / kNr) * kNr * kc;
+                        for (int64_t ir = 0; ir < mc; ir += kMr) {
+                            const int64_t h = std::min(kMr, mc - ir);
+                            const float *ap =
+                                apack.data() + (ir / kMr) * kMr * kc;
+                            microKernel(ap, bp, kc,
+                                        c + (ic + ir) * n + jc + jr, n,
+                                        h, w);
+                        }
+                    }
+                }
+            };
+
+            if (go_parallel) {
+                ThreadPool::global().parallelFor(0, row_blocks, 1,
+                                                 row_block);
+            } else {
+                row_block(0, row_blocks);
+            }
+        }
+    }
+}
+
+/** Shape/consistency checks shared by gemm() and gemmReference(). */
+void
+checkGemmOperands(const Tensor &a, bool trans_a, const Tensor &b,
+                  bool trans_b, int64_t &m, int64_t &n, int64_t &k)
+{
+    ECHO_REQUIRE(a.shape().ndim() == 2 && b.shape().ndim() == 2,
+                 "gemm needs 2-D operands, got ", a.shape().toString(),
+                 " and ", b.shape().toString());
+    m = trans_a ? a.shape()[1] : a.shape()[0];
+    k = trans_a ? a.shape()[0] : a.shape()[1];
+    const int64_t kb = trans_b ? b.shape()[1] : b.shape()[0];
+    n = trans_b ? b.shape()[0] : b.shape()[1];
+    ECHO_REQUIRE(k == kb, "gemm inner dimensions mismatch: ",
+                 a.shape().toString(), (trans_a ? "^T" : ""), " * ",
+                 b.shape().toString(), (trans_b ? "^T" : ""));
 }
 
 } // namespace
@@ -41,20 +244,31 @@ Tensor
 gemm(const Tensor &a, bool trans_a, const Tensor &b, bool trans_b,
      float alpha)
 {
-    ECHO_REQUIRE(a.shape().ndim() == 2 && b.shape().ndim() == 2,
-                 "gemm needs 2-D operands, got ", a.shape().toString(),
-                 " and ", b.shape().toString());
-    const int64_t m = trans_a ? a.shape()[1] : a.shape()[0];
-    const int64_t k = trans_a ? a.shape()[0] : a.shape()[1];
-    const int64_t kb = trans_b ? b.shape()[1] : b.shape()[0];
-    const int64_t n = trans_b ? b.shape()[0] : b.shape()[1];
-    ECHO_REQUIRE(k == kb, "gemm inner dimensions mismatch: ",
-                 a.shape().toString(), (trans_a ? "^T" : ""), " * ",
-                 b.shape().toString(), (trans_b ? "^T" : ""));
-
+    int64_t m, n, k;
+    checkGemmOperands(a, trans_a, b, trans_b, m, n, k);
     Tensor c = Tensor::zeros(Shape({m, n}));
-    gemmKernel(a.data(), trans_a, b.data(), trans_b, c.data(), m, n, k,
-               alpha);
+    gemmBlocked(a.data(), trans_a, b.data(), trans_b, c.data(), m, n, k,
+                alpha, /*parallel=*/true);
+    return c;
+}
+
+Tensor
+gemmReference(const Tensor &a, bool trans_a, const Tensor &b,
+              bool trans_b, float alpha)
+{
+    int64_t m, n, k;
+    checkGemmOperands(a, trans_a, b, trans_b, m, n, k);
+    Tensor c = Tensor::zeros(Shape({m, n}));
+    const float *pa = a.data();
+    const float *pb = b.data();
+    for (int64_t i = 0; i < m; ++i) {
+        for (int64_t p = 0; p < k; ++p) {
+            const float av = alpha * elemA(pa, trans_a, m, k, i, p);
+            float *crow = c.data() + i * n;
+            for (int64_t j = 0; j < n; ++j)
+                crow[j] += av * elemB(pb, trans_b, k, n, p, j);
+        }
+    }
     return c;
 }
 
@@ -75,11 +289,25 @@ bmm(const Tensor &a, bool trans_a, const Tensor &b, bool trans_b)
     const int64_t a_stride = a.shape()[1] * a.shape()[2];
     const int64_t b_stride = b.shape()[1] * b.shape()[2];
     const int64_t c_stride = m * n;
-    for (int64_t i = 0; i < batch; ++i) {
-        gemmKernel(a.data() + i * a_stride, trans_a,
-                   b.data() + i * b_stride, trans_b,
-                   c.data() + i * c_stride, m, n, k, 1.0f);
-    }
+
+    // Parallelize over the batch when there are enough items to keep
+    // the pool busy; each per-item GEMM then stays single-threaded
+    // (nested parallelFor would serialize anyway).  For small batches
+    // of large matrices the per-item kernel parallelizes instead.
+    const bool batch_parallel =
+        batch > 1 && batch * m * n * k >= kParallelMinMadds;
+    auto run_items = [&](int64_t i0, int64_t i1) {
+        for (int64_t i = i0; i < i1; ++i) {
+            gemmBlocked(a.data() + i * a_stride, trans_a,
+                        b.data() + i * b_stride, trans_b,
+                        c.data() + i * c_stride, m, n, k, 1.0f,
+                        /*parallel=*/!batch_parallel);
+        }
+    };
+    if (batch_parallel)
+        ThreadPool::global().parallelFor(0, batch, 1, run_items);
+    else
+        run_items(0, batch);
     return c;
 }
 
@@ -91,9 +319,13 @@ outer(const Tensor &u, const Tensor &v)
     const int64_t m = u.shape()[0];
     const int64_t n = v.shape()[0];
     Tensor c(Shape({m, n}));
-    for (int64_t i = 0; i < m; ++i)
-        for (int64_t j = 0; j < n; ++j)
-            c.data()[i * n + j] = u.data()[i] * v.data()[j];
+    ThreadPool::global().parallelFor(
+        0, m, std::max<int64_t>(1, 8192 / std::max<int64_t>(1, n)),
+        [&](int64_t i0, int64_t i1) {
+            for (int64_t i = i0; i < i1; ++i)
+                for (int64_t j = 0; j < n; ++j)
+                    c.data()[i * n + j] = u.data()[i] * v.data()[j];
+        });
     return c;
 }
 

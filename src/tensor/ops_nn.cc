@@ -1,9 +1,16 @@
 #include <cmath>
 
 #include "core/logging.h"
+#include "tensor/kernel_par.h"
 #include "tensor/ops.h"
 
 namespace echo::ops {
+
+namespace {
+
+using detail::parallelUnits;
+
+} // namespace
 
 Tensor
 softmaxLastAxis(const Tensor &a)
@@ -11,21 +18,27 @@ softmaxLastAxis(const Tensor &a)
     const int64_t n = a.shape().dim(-1);
     const int64_t rows = a.numel() / n;
     Tensor c(a.shape());
-    for (int64_t r = 0; r < rows; ++r) {
-        const float *src = a.data() + r * n;
-        float *dst = c.data() + r * n;
-        float mx = src[0];
-        for (int64_t j = 1; j < n; ++j)
-            mx = std::max(mx, src[j]);
-        double denom = 0.0;
-        for (int64_t j = 0; j < n; ++j) {
-            dst[j] = std::exp(src[j] - mx);
-            denom += dst[j];
+    const float *pa = a.data();
+    float *pc = c.data();
+    // Row-parallel: each row's max/denominator reduction stays within
+    // one chunk, in serial order.
+    parallelUnits(rows, n, [=](int64_t r0, int64_t r1) {
+        for (int64_t r = r0; r < r1; ++r) {
+            const float *src = pa + r * n;
+            float *dst = pc + r * n;
+            float mx = src[0];
+            for (int64_t j = 1; j < n; ++j)
+                mx = std::max(mx, src[j]);
+            double denom = 0.0;
+            for (int64_t j = 0; j < n; ++j) {
+                dst[j] = std::exp(src[j] - mx);
+                denom += dst[j];
+            }
+            const float inv = static_cast<float>(1.0 / denom);
+            for (int64_t j = 0; j < n; ++j)
+                dst[j] *= inv;
         }
-        const float inv = static_cast<float>(1.0 / denom);
-        for (int64_t j = 0; j < n; ++j)
-            dst[j] *= inv;
-    }
+    });
     return c;
 }
 
@@ -35,19 +48,24 @@ logSoftmaxLastAxis(const Tensor &a)
     const int64_t n = a.shape().dim(-1);
     const int64_t rows = a.numel() / n;
     Tensor c(a.shape());
-    for (int64_t r = 0; r < rows; ++r) {
-        const float *src = a.data() + r * n;
-        float *dst = c.data() + r * n;
-        float mx = src[0];
-        for (int64_t j = 1; j < n; ++j)
-            mx = std::max(mx, src[j]);
-        double denom = 0.0;
-        for (int64_t j = 0; j < n; ++j)
-            denom += std::exp(src[j] - mx);
-        const float log_denom = static_cast<float>(std::log(denom)) + mx;
-        for (int64_t j = 0; j < n; ++j)
-            dst[j] = src[j] - log_denom;
-    }
+    const float *pa = a.data();
+    float *pc = c.data();
+    parallelUnits(rows, n, [=](int64_t r0, int64_t r1) {
+        for (int64_t r = r0; r < r1; ++r) {
+            const float *src = pa + r * n;
+            float *dst = pc + r * n;
+            float mx = src[0];
+            for (int64_t j = 1; j < n; ++j)
+                mx = std::max(mx, src[j]);
+            double denom = 0.0;
+            for (int64_t j = 0; j < n; ++j)
+                denom += std::exp(src[j] - mx);
+            const float log_denom =
+                static_cast<float>(std::log(denom)) + mx;
+            for (int64_t j = 0; j < n; ++j)
+                dst[j] = src[j] - log_denom;
+        }
+    });
     return c;
 }
 
@@ -74,6 +92,8 @@ crossEntropy(const Tensor &logits, const Tensor &labels)
     const int64_t v = logits.shape()[1];
     ECHO_REQUIRE(labels.numel() == n, "label count mismatch");
 
+    // logSoftmaxLastAxis is row-parallel; the scalar loss reduction
+    // below stays serial so its summation order is fixed.
     const Tensor logp = logSoftmaxLastAxis(logits);
     double loss = 0.0;
     const int64_t valid = countValidLabels(labels);
@@ -101,18 +121,22 @@ crossEntropyGrad(const Tensor &logits, const Tensor &labels)
     const int64_t valid = countValidLabels(labels);
     const float scale =
         valid > 0 ? 1.0f / static_cast<float>(valid) : 0.0f;
-    for (int64_t i = 0; i < n; ++i) {
-        const float lf = labels.data()[i];
-        if (lf < 0.0f) {
+    const float *pl = labels.data();
+    float *pg = grad.data();
+    parallelUnits(n, v, [=](int64_t i0, int64_t i1) {
+        for (int64_t i = i0; i < i1; ++i) {
+            const float lf = pl[i];
+            if (lf < 0.0f) {
+                for (int64_t j = 0; j < v; ++j)
+                    pg[i * v + j] = 0.0f;
+                continue;
+            }
+            const int64_t label = static_cast<int64_t>(lf);
+            pg[i * v + label] -= 1.0f;
             for (int64_t j = 0; j < v; ++j)
-                grad.data()[i * v + j] = 0.0f;
-            continue;
+                pg[i * v + j] *= scale;
         }
-        const int64_t label = static_cast<int64_t>(lf);
-        grad.data()[i * v + label] -= 1.0f;
-        for (int64_t j = 0; j < v; ++j)
-            grad.data()[i * v + j] *= scale;
-    }
+    });
     return grad;
 }
 
@@ -122,24 +146,28 @@ layerNormLastAxis(const Tensor &a, float eps)
     const int64_t n = a.shape().dim(-1);
     const int64_t rows = a.numel() / n;
     Tensor c(a.shape());
-    for (int64_t r = 0; r < rows; ++r) {
-        const float *src = a.data() + r * n;
-        float *dst = c.data() + r * n;
-        double mean = 0.0;
-        for (int64_t j = 0; j < n; ++j)
-            mean += src[j];
-        mean /= static_cast<double>(n);
-        double var = 0.0;
-        for (int64_t j = 0; j < n; ++j) {
-            const double d = src[j] - mean;
-            var += d * d;
+    const float *pa = a.data();
+    float *pc = c.data();
+    parallelUnits(rows, n, [=](int64_t r0, int64_t r1) {
+        for (int64_t r = r0; r < r1; ++r) {
+            const float *src = pa + r * n;
+            float *dst = pc + r * n;
+            double mean = 0.0;
+            for (int64_t j = 0; j < n; ++j)
+                mean += src[j];
+            mean /= static_cast<double>(n);
+            double var = 0.0;
+            for (int64_t j = 0; j < n; ++j) {
+                const double d = src[j] - mean;
+                var += d * d;
+            }
+            var /= static_cast<double>(n);
+            const float rstd =
+                static_cast<float>(1.0 / std::sqrt(var + eps));
+            for (int64_t j = 0; j < n; ++j)
+                dst[j] = (src[j] - static_cast<float>(mean)) * rstd;
         }
-        var /= static_cast<double>(n);
-        const float rstd =
-            static_cast<float>(1.0 / std::sqrt(var + eps));
-        for (int64_t j = 0; j < n; ++j)
-            dst[j] = (src[j] - static_cast<float>(mean)) * rstd;
-    }
+    });
     return c;
 }
 
@@ -151,15 +179,21 @@ embeddingLookup(const Tensor &table, const Tensor &ids)
     const int64_t h = table.shape()[1];
     Shape out_shape = ids.shape().insertAxis(ids.shape().ndim(), h);
     Tensor c(out_shape);
-    for (int64_t i = 0; i < ids.numel(); ++i) {
-        float idf = ids.data()[i];
-        int64_t id = idf < 0.0f ? 0 : static_cast<int64_t>(idf);
-        ECHO_REQUIRE(id < v, "token id ", id, " out of vocab ", v);
-        const float *src = table.data() + id * h;
-        float *dst = c.data() + i * h;
-        for (int64_t j = 0; j < h; ++j)
-            dst[j] = idf < 0.0f ? 0.0f : src[j];
-    }
+    const float *pt = table.data();
+    const float *pi = ids.data();
+    float *pc = c.data();
+    parallelUnits(ids.numel(), h, [=](int64_t i0, int64_t i1) {
+        for (int64_t i = i0; i < i1; ++i) {
+            const float idf = pi[i];
+            const int64_t id =
+                idf < 0.0f ? 0 : static_cast<int64_t>(idf);
+            ECHO_REQUIRE(id < v, "token id ", id, " out of vocab ", v);
+            const float *src = pt + id * h;
+            float *dst = pc + i * h;
+            for (int64_t j = 0; j < h; ++j)
+                dst[j] = idf < 0.0f ? 0.0f : src[j];
+        }
+    });
     return c;
 }
 
@@ -168,19 +202,29 @@ embeddingGrad(const Tensor &table, const Tensor &ids,
               const Tensor &out_grad)
 {
     const int64_t h = table.shape()[1];
-    ECHO_REQUIRE(out_grad.numel() == ids.numel() * h,
+    const int64_t count = ids.numel();
+    ECHO_REQUIRE(out_grad.numel() == count * h,
                  "embeddingGrad size mismatch");
     Tensor grad = Tensor::zeros(table.shape());
-    for (int64_t i = 0; i < ids.numel(); ++i) {
-        const float idf = ids.data()[i];
-        if (idf < 0.0f)
-            continue;
-        const int64_t id = static_cast<int64_t>(idf);
-        float *dst = grad.data() + id * h;
-        const float *src = out_grad.data() + i * h;
-        for (int64_t j = 0; j < h; ++j)
-            dst[j] += src[j];
-    }
+    const float *pi = ids.data();
+    const float *pg = out_grad.data();
+    float *pd = grad.data();
+    // Column-parallel scatter-add: duplicate ids make row-parallelism a
+    // data race, so each chunk owns a j-range of the embedding width
+    // and walks the ids in serial order.  Accumulation order per
+    // element matches the serial kernel exactly.
+    parallelUnits(h, count, [=](int64_t j0, int64_t j1) {
+        for (int64_t i = 0; i < count; ++i) {
+            const float idf = pi[i];
+            if (idf < 0.0f)
+                continue;
+            const int64_t id = static_cast<int64_t>(idf);
+            float *dst = pd + id * h;
+            const float *src = pg + i * h;
+            for (int64_t j = j0; j < j1; ++j)
+                dst[j] += src[j];
+        }
+    });
     return grad;
 }
 

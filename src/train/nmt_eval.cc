@@ -1,6 +1,7 @@
 #include "train/nmt_eval.h"
 
 #include "core/logging.h"
+#include "core/thread_pool.h"
 
 namespace echo::train {
 
@@ -28,28 +29,49 @@ profileNmtBucketed(const models::NmtConfig &base_config,
     int64_t max_len = 0;
     double replay_weighted = 0.0;
 
-    for (const LengthBucket &bucket : buckets) {
-        models::NmtConfig cfg = base_config;
-        cfg.src_len = bucket.length;
-        cfg.tgt_len = bucket.length;
-        models::NmtModel model(cfg);
+    // Buckets are independent (each builds its own model graph, runs
+    // its own pass, and profiles its own iteration), so they profile
+    // in parallel.  The weighted aggregation below stays serial and in
+    // bucket order so the floating-point sums are deterministic.
+    const int64_t nbuckets = static_cast<int64_t>(buckets.size());
+    std::vector<pass::PassResult> pass_results(
+        static_cast<size_t>(nbuckets));
+    std::vector<IterationProfile> profiles(
+        static_cast<size_t>(nbuckets));
+    ThreadPool::global().parallelFor(0, nbuckets, 1, [&](int64_t b0,
+                                                         int64_t b1) {
+        for (int64_t bi = b0; bi < b1; ++bi) {
+            const LengthBucket &bucket =
+                buckets[static_cast<size_t>(bi)];
+            models::NmtConfig cfg = base_config;
+            cfg.src_len = bucket.length;
+            cfg.tgt_len = bucket.length;
+            models::NmtModel model(cfg);
 
-        pass::PassResult pres;
-        if (opts.policy != pass::PassConfig::Policy::kOff) {
-            pass::PassConfig pc;
-            pc.policy = opts.policy;
-            pc.overhead_budget_fraction =
-                opts.overhead_budget_fraction;
-            pc.gpu = opts.gpu;
-            pres = pass::runRecomputePass(model.graph(),
-                                          model.fetches(), pc);
+            if (opts.policy != pass::PassConfig::Policy::kOff) {
+                pass::PassConfig pc;
+                pc.policy = opts.policy;
+                pc.overhead_budget_fraction =
+                    opts.overhead_budget_fraction;
+                pc.gpu = opts.gpu;
+                pass_results[static_cast<size_t>(bi)] =
+                    pass::runRecomputePass(model.graph(),
+                                           model.fetches(), pc);
+            }
+
+            SimulationOptions sim;
+            sim.gpu = opts.gpu;
+            sim.profiler = opts.profiler;
+            profiles[static_cast<size_t>(bi)] = profileIteration(
+                model.fetches(), model.weightGrads(), sim);
         }
+    });
 
-        SimulationOptions sim;
-        sim.gpu = opts.gpu;
-        sim.profiler = opts.profiler;
-        IterationProfile prof = profileIteration(
-            model.fetches(), model.weightGrads(), sim);
+    for (int64_t bi = 0; bi < nbuckets; ++bi) {
+        const LengthBucket &bucket = buckets[static_cast<size_t>(bi)];
+        const pass::PassResult &pres =
+            pass_results[static_cast<size_t>(bi)];
+        IterationProfile &prof = profiles[static_cast<size_t>(bi)];
 
         const double w = bucket.weight / weight_sum;
         out.mean_iteration_seconds += w * prof.iterationSeconds();

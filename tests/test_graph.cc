@@ -6,8 +6,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 
 #include "core/rng.h"
+#include "core/thread_pool.h"
 #include "graph/executor.h"
 #include "graph/graph.h"
 #include "graph/ops/op_fused_rnn.h"
@@ -203,6 +205,91 @@ TEST(Executor, ConstantNeedsNoFeed)
     Executor ex({c});
     auto out = ex.run({});
     EXPECT_DOUBLE_EQ(out[0].sum(), 14.0);
+}
+
+TEST(Executor, ParallelMatchesSerialBitExact)
+{
+    // Wide fan graph: many independent branches merged pairwise, so
+    // the ready queue actually dispatches concurrent nodes.  The
+    // parallel run must reproduce the serial run byte for byte.
+    Graph g;
+    Rng rng(41);
+    Val x = g.placeholder(Shape({64, 64}), "x");
+    std::vector<Val> branches;
+    for (int i = 0; i < 8; ++i) {
+        Val s = g.apply1(ol::scale(0.1f * static_cast<float>(i + 1)),
+                         {x});
+        branches.push_back(g.apply1(ol::tanhOp(), {s}));
+    }
+    while (branches.size() > 1) {
+        std::vector<Val> next;
+        for (size_t i = 0; i + 1 < branches.size(); i += 2)
+            next.push_back(
+                g.apply1(ol::add(), {branches[i], branches[i + 1]}));
+        branches = std::move(next);
+    }
+    Val top = g.apply1(ol::mul(), {branches[0], branches[0]});
+
+    FeedDict feed;
+    feed[x.node] = Tensor::uniform(Shape({64, 64}), rng, -2.0f, 2.0f);
+
+    ThreadPool::setGlobalNumThreads(4);
+    Executor serial({top, branches[0]}, ExecMode::kSerial);
+    Executor parallel({top, branches[0]}, ExecMode::kParallel);
+    const auto a = serial.run(feed);
+    const auto b = parallel.run(feed);
+    ThreadPool::setGlobalNumThreads(ThreadPool::defaultNumThreads());
+
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        ASSERT_EQ(a[i].shape(), b[i].shape());
+        EXPECT_EQ(std::memcmp(a[i].data(), b[i].data(),
+                              static_cast<size_t>(a[i].numel()) *
+                                  sizeof(float)),
+                  0)
+            << "fetch " << i;
+    }
+}
+
+TEST(Executor, ParallelHandlesMultiOutputAndSharedInputs)
+{
+    Graph g;
+    Rng rng(43);
+    Val x = g.placeholder(Shape({4, 8}), "x");
+    auto ln = g.apply(ol::layerNorm(), {x});
+    Val doubled = g.apply1(ol::mul(), {ln[0], ln[0]});
+
+    FeedDict feed;
+    feed[x.node] = Tensor::uniform(Shape({4, 8}), rng, -2.0f, 2.0f);
+
+    ThreadPool::setGlobalNumThreads(4);
+    Executor parallel({doubled, ln[1]}, ExecMode::kParallel);
+    Executor serial({doubled, ln[1]}, ExecMode::kSerial);
+    const auto p = parallel.run(feed);
+    const auto s = serial.run(feed);
+    ThreadPool::setGlobalNumThreads(ThreadPool::defaultNumThreads());
+
+    EXPECT_EQ(std::memcmp(p[0].data(), s[0].data(),
+                          static_cast<size_t>(p[0].numel()) *
+                              sizeof(float)),
+              0);
+    EXPECT_EQ(std::memcmp(p[1].data(), s[1].data(),
+                          static_cast<size_t>(p[1].numel()) *
+                              sizeof(float)),
+              0);
+}
+
+TEST(Executor, AutoModeIsDefaultAndRuns)
+{
+    Graph g;
+    Val x = g.placeholder(Shape({2}), "x");
+    Val y = g.apply1(ol::tanhOp(), {x});
+    Executor ex({y});
+    EXPECT_EQ(ex.mode(), ExecMode::kAuto);
+    FeedDict feed;
+    feed[x.node] = Tensor(Shape({2}), {0.5f, -0.5f});
+    const auto out = ex.run(feed);
+    EXPECT_NEAR(out[0].at(0), std::tanh(0.5f), 1e-6);
 }
 
 TEST(FusedLstm, ShapesAndFiniteness)

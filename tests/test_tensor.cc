@@ -7,8 +7,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 
 #include "core/rng.h"
+#include "core/thread_pool.h"
 #include "tensor/ops.h"
 #include "tensor/tensor.h"
 
@@ -404,6 +406,88 @@ TEST(NN, EmbeddingPaddingGivesZeroVector)
     Tensor y = ops::embeddingLookup(table, ids);
     EXPECT_FLOAT_EQ(y.at(0, 0), 0.0f);
     EXPECT_FLOAT_EQ(y.at(1, 1), 4.0f);
+}
+
+// ----------------------------------------------------------------------
+// Blocked GEMM vs golden reference, and thread-count determinism
+// ----------------------------------------------------------------------
+
+TEST_P(GemmTransposes, BlockedMatchesReferenceAcrossBlockBoundaries)
+{
+    // Sizes straddle the Mc=64 / Kc=256 / Nc=512 blocking boundaries
+    // with ragged micro-tile tails, so packing, K-panel accumulation,
+    // and edge handling are all exercised.  The blocked kernel sums in
+    // a different (fixed) order than the reference, so exact equality
+    // is not expected — only closeness.
+    const auto [ta, tb] = GetParam();
+    const int64_t m = 67, n = 130, k = 300;
+    Rng rng(23);
+    Tensor a = Tensor::uniform(ta ? Shape({k, m}) : Shape({m, k}), rng,
+                               -0.5f, 0.5f);
+    Tensor b = Tensor::uniform(tb ? Shape({n, k}) : Shape({k, n}), rng,
+                               -0.5f, 0.5f);
+    Tensor c = ops::gemm(a, ta, b, tb, 0.75f);
+    Tensor ref = ops::gemmReference(a, ta, b, tb, 0.75f);
+    ASSERT_EQ(c.shape(), ref.shape());
+    for (int64_t i = 0; i < c.numel(); ++i)
+        ASSERT_NEAR(c.at(i), ref.at(i), 2e-3) << "element " << i;
+}
+
+TEST(Gemm, BitIdenticalAcrossThreadCounts)
+{
+    // Big enough that the blocked kernel actually splits row blocks
+    // across threads; the chunking must not change a single bit.
+    Rng rng(29);
+    Tensor a = Tensor::uniform(Shape({200, 300}), rng, -1.0f, 1.0f);
+    Tensor b = Tensor::uniform(Shape({300, 170}), rng, -1.0f, 1.0f);
+    ThreadPool::setGlobalNumThreads(1);
+    Tensor c1 = ops::gemm(a, false, b, false);
+    ThreadPool::setGlobalNumThreads(8);
+    Tensor c8 = ops::gemm(a, false, b, false);
+    ThreadPool::setGlobalNumThreads(ThreadPool::defaultNumThreads());
+    ASSERT_EQ(c1.shape(), c8.shape());
+    EXPECT_EQ(std::memcmp(c1.data(), c8.data(),
+                          static_cast<size_t>(c1.numel()) *
+                              sizeof(float)),
+              0);
+}
+
+TEST(Elementwise, BitIdenticalAcrossThreadCounts)
+{
+    // One representative of each parallelization scheme: element-wise
+    // map, row-wise reduction, column-wise accumulation, and the
+    // column-parallel scatter-add of embeddingGrad.
+    const int64_t rows = 512, cols = 96;
+    Rng rng(31);
+    Tensor x = Tensor::uniform(Shape({rows, cols}), rng, -2.0f, 2.0f);
+    Tensor table = Tensor::uniform(Shape({40, cols}), rng);
+    Tensor ids(Shape({rows}));
+    for (int64_t i = 0; i < rows; ++i)
+        ids.at(i) = static_cast<float>(i % 40);
+
+    auto all = [&] {
+        std::vector<Tensor> r;
+        r.push_back(ops::tanh(x));
+        r.push_back(ops::softmaxLastAxis(x));
+        r.push_back(ops::layerNormLastAxis(x));
+        r.push_back(ops::sumToBias(x, cols));
+        r.push_back(ops::embeddingGrad(table, ids, x));
+        return r;
+    };
+    ThreadPool::setGlobalNumThreads(1);
+    const std::vector<Tensor> serial = all();
+    ThreadPool::setGlobalNumThreads(8);
+    const std::vector<Tensor> threaded = all();
+    ThreadPool::setGlobalNumThreads(ThreadPool::defaultNumThreads());
+    ASSERT_EQ(serial.size(), threaded.size());
+    for (size_t i = 0; i < serial.size(); ++i) {
+        ASSERT_EQ(serial[i].shape(), threaded[i].shape());
+        EXPECT_EQ(std::memcmp(serial[i].data(), threaded[i].data(),
+                              static_cast<size_t>(serial[i].numel()) *
+                                  sizeof(float)),
+                  0)
+            << "kernel " << i;
+    }
 }
 
 } // namespace

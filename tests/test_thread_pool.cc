@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Tests for core/thread_pool: lifecycle, task handles, parallelFor
+ * coverage/determinism, exception propagation, and nesting safety.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "core/thread_pool.h"
+
+namespace echo {
+namespace {
+
+TEST(ThreadPool, StartupAndShutdown)
+{
+    // Construction spins up workers; destruction joins them.  Run a
+    // few cycles to catch teardown races.
+    for (int round = 0; round < 4; ++round) {
+        ThreadPool pool(3);
+        EXPECT_EQ(pool.numThreads(), 3);
+    }
+}
+
+TEST(ThreadPool, ClampsThreadCountToAtLeastOne)
+{
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.numThreads(), 1);
+}
+
+TEST(ThreadPool, SubmitRunsAndWaits)
+{
+    ThreadPool pool(2);
+    std::atomic<int> counter{0};
+    std::vector<ThreadPool::Task> tasks;
+    for (int i = 0; i < 16; ++i)
+        tasks.push_back(pool.submit([&counter] { ++counter; }));
+    for (ThreadPool::Task &t : tasks)
+        t.wait();
+    EXPECT_EQ(counter.load(), 16);
+    for (ThreadPool::Task &t : tasks)
+        EXPECT_TRUE(t.done());
+}
+
+TEST(ThreadPool, PendingTasksFinishBeforeDestruction)
+{
+    std::atomic<int> counter{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 32; ++i)
+            pool.submit([&counter] { ++counter; });
+        // Destructor drains the queue before joining.
+    }
+    EXPECT_EQ(counter.load(), 32);
+}
+
+TEST(ThreadPool, SubmitPropagatesException)
+{
+    ThreadPool pool(2);
+    ThreadPool::Task task = pool.submit(
+        [] { throw std::runtime_error("boom"); });
+    EXPECT_THROW(task.wait(), std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForCoversRangeExactlyOnce)
+{
+    ThreadPool pool(4);
+    const int64_t n = 10000;
+    std::vector<int> hits(n, 0);
+    pool.parallelFor(0, n, 16, [&](int64_t b, int64_t e) {
+        for (int64_t i = b; i < e; ++i)
+            ++hits[static_cast<size_t>(i)];
+    });
+    EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), n);
+    EXPECT_EQ(*std::min_element(hits.begin(), hits.end()), 1);
+    EXPECT_EQ(*std::max_element(hits.begin(), hits.end()), 1);
+}
+
+TEST(ThreadPool, ParallelForEmptyAndTinyRanges)
+{
+    ThreadPool pool(4);
+    std::atomic<int> calls{0};
+    pool.parallelFor(5, 5, 1, [&](int64_t, int64_t) { ++calls; });
+    EXPECT_EQ(calls.load(), 0);
+    pool.parallelFor(0, 1, 1,
+                     [&](int64_t b, int64_t e) { calls += int(e - b); });
+    EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForRespectsGrain)
+{
+    ThreadPool pool(8);
+    std::mutex mu;
+    std::vector<int64_t> chunk_sizes;
+    pool.parallelFor(0, 1000, 100, [&](int64_t b, int64_t e) {
+        std::lock_guard<std::mutex> lk(mu);
+        chunk_sizes.push_back(e - b);
+    });
+    int64_t total = 0;
+    for (int64_t sz : chunk_sizes) {
+        EXPECT_GE(sz, 1);
+        total += sz;
+    }
+    EXPECT_EQ(total, 1000);
+    // No chunk may be smaller than the grain except the last remainder.
+    int below = 0;
+    for (int64_t sz : chunk_sizes)
+        if (sz < 100)
+            ++below;
+    EXPECT_LE(below, 1);
+}
+
+TEST(ThreadPool, ParallelForPropagatesException)
+{
+    ThreadPool pool(4);
+    EXPECT_THROW(pool.parallelFor(0, 1000, 1,
+                                  [&](int64_t b, int64_t) {
+                                      if (b >= 500)
+                                          throw std::runtime_error("bad");
+                                  }),
+                 std::runtime_error);
+}
+
+TEST(ThreadPool, NestedParallelForRunsSerially)
+{
+    // A parallelFor body that calls parallelFor again must not deadlock
+    // and must still cover the inner range; the nesting guard forces
+    // the inner loop onto the calling thread.
+    ThreadPool pool(4);
+    std::atomic<int64_t> inner_total{0};
+    pool.parallelFor(0, 8, 1, [&](int64_t b, int64_t e) {
+        for (int64_t i = b; i < e; ++i) {
+            pool.parallelFor(0, 100, 1, [&](int64_t ib, int64_t ie) {
+                inner_total += ie - ib;
+            });
+        }
+    });
+    EXPECT_EQ(inner_total.load(), 8 * 100);
+}
+
+TEST(ThreadPool, SerialFallbackMatchesParallel)
+{
+    // The same reduction pattern (each slot written by exactly one
+    // chunk) must produce byte-identical results on 1 and 8 threads.
+    const int64_t n = 4096;
+    std::vector<float> serial(n), parallel(n);
+    auto body = [](std::vector<float> &out) {
+        return [&out](int64_t b, int64_t e) {
+            for (int64_t i = b; i < e; ++i)
+                out[static_cast<size_t>(i)] =
+                    std::sin(static_cast<float>(i)) * 0.5f;
+        };
+    };
+    ThreadPool one(1);
+    one.parallelFor(0, n, 64, body(serial));
+    ThreadPool eight(8);
+    eight.parallelFor(0, n, 64, body(parallel));
+    EXPECT_EQ(std::memcmp(serial.data(), parallel.data(),
+                          serial.size() * sizeof(float)),
+              0);
+}
+
+TEST(ThreadPool, DefaultNumThreadsReadsEnvironment)
+{
+    // setenv/getenv here is safe: this test binary is single-threaded
+    // at this point.
+    setenv("ECHO_NUM_THREADS", "3", 1);
+    EXPECT_EQ(ThreadPool::defaultNumThreads(), 3);
+    setenv("ECHO_NUM_THREADS", "not-a-number", 1);
+    const int fallback = ThreadPool::defaultNumThreads();
+    EXPECT_GE(fallback, 1); // invalid value ignored with a warning
+    unsetenv("ECHO_NUM_THREADS");
+}
+
+TEST(ThreadPool, GlobalPoolSwapsThreadCount)
+{
+    ThreadPool::setGlobalNumThreads(2);
+    EXPECT_EQ(ThreadPool::global().numThreads(), 2);
+    ThreadPool::setGlobalNumThreads(5);
+    EXPECT_EQ(ThreadPool::global().numThreads(), 5);
+    ThreadPool::setGlobalNumThreads(1);
+    EXPECT_EQ(ThreadPool::global().numThreads(), 1);
+}
+
+TEST(ThreadPool, OnWorkerThreadIsVisibleInsideTasks)
+{
+    EXPECT_FALSE(ThreadPool::onWorkerThread());
+    ThreadPool pool(2);
+    ThreadPool::Task task = pool.submit(
+        [] { EXPECT_TRUE(ThreadPool::onWorkerThread()); });
+    task.wait();
+}
+
+} // namespace
+} // namespace echo

@@ -7,7 +7,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 
+#include "core/thread_pool.h"
 #include "data/batcher.h"
 #include "graph/executor.h"
 #include "models/nmt.h"
@@ -176,6 +178,74 @@ TEST(Trainer, WordLmLossDecreases)
     EXPECT_LT(last, first * 0.6);
     // Time axis advances uniformly.
     EXPECT_NEAR(curve.back().wall_seconds, 0.8, 1e-9);
+}
+
+namespace {
+
+/** Run a few word-LM training steps at a given mode / thread count. */
+models::ParamStore
+runWordLmSteps(graph::ExecMode mode, int num_threads)
+{
+    ThreadPool::setGlobalNumThreads(num_threads);
+
+    models::WordLmConfig cfg;
+    cfg.vocab = 20;
+    cfg.hidden = 12;
+    cfg.layers = 1;
+    cfg.batch = 4;
+    cfg.seq_len = 6;
+    models::WordLmModel model(cfg);
+
+    data::CorpusConfig ccfg;
+    ccfg.vocab = data::Vocab{20};
+    ccfg.num_tokens = 2000;
+    ccfg.structure = 0.9;
+    ccfg.seed = 13;
+    data::Corpus corpus = data::Corpus::generate(ccfg);
+    data::LmBatcher batcher(corpus, cfg.batch, cfg.seq_len);
+
+    Rng rng(17);
+    models::ParamStore params = model.initialParams(rng);
+    SgdOptimizer opt(0.5, 0.9);
+
+    graph::Executor ex(model.fetches(), mode);
+    TrainLoopConfig loop;
+    loop.iterations = 5;
+    loop.seconds_per_iteration = 0.01;
+    runTrainingLoop(
+        ex, loop,
+        [&](int64_t) { return model.makeFeed(params, batcher.next()); },
+        [&](double, const std::vector<Tensor> &grads) {
+            opt.step(params, model.weights(), grads);
+        });
+
+    ThreadPool::setGlobalNumThreads(ThreadPool::defaultNumThreads());
+    return params;
+}
+
+} // namespace
+
+TEST(Trainer, TrainingStepBitIdenticalAcrossThreadCounts)
+{
+    // The ISSUE's determinism contract end to end: identical data,
+    // seeds, and schedule must give byte-identical weights after
+    // several full training steps whether the run is serial on one
+    // thread or ready-queue parallel on eight.
+    const models::ParamStore serial =
+        runWordLmSteps(graph::ExecMode::kSerial, 1);
+    const models::ParamStore parallel =
+        runWordLmSteps(graph::ExecMode::kParallel, 8);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (const auto &[name, tensor] : serial) {
+        ASSERT_TRUE(parallel.count(name)) << name;
+        const Tensor &other = parallel.at(name);
+        ASSERT_EQ(tensor.shape(), other.shape()) << name;
+        EXPECT_EQ(std::memcmp(tensor.data(), other.data(),
+                              static_cast<size_t>(tensor.numel()) *
+                                  sizeof(float)),
+                  0)
+            << "weight " << name << " diverged across thread counts";
+    }
 }
 
 TEST(Trainer, SpeedometerMatchesDefinition)

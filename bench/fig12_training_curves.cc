@@ -21,7 +21,6 @@
 #include "bench_common.h"
 #include "data/batcher.h"
 #include "echo/recompute_pass.h"
-#include "echo/verify.h"
 #include "graph/executor.h"
 #include "models/nmt.h"
 #include "train/metrics.h"

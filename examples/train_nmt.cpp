@@ -13,7 +13,7 @@
 
 #include "data/batcher.h"
 #include "echo/recompute_pass.h"
-#include "echo/verify.h"
+#include "analysis/numeric_verify.h"
 #include "graph/executor.h"
 #include "models/nmt.h"
 #include "train/metrics.h"
@@ -95,7 +95,7 @@ main()
             const auto out_base =
                 ex_base.run(baseline.makeFeed(params, batch));
             const auto vr =
-                pass::compareFetches(out, out_base);
+                analysis::compareFetches(out, out_base);
             ECHO_CHECK(vr.identical(),
                        "pass changed the training computation");
         }

@@ -1,0 +1,54 @@
+#include "analysis/analysis.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "core/logging.h"
+
+namespace echo::analysis {
+
+AnalysisReport
+analyzeAll(const std::vector<graph::Val> &fetches,
+           const std::vector<graph::Val> &weight_grads,
+           const AnalyzeOptions &opts)
+{
+    AnalysisReport report = verifyFetches(fetches);
+    // A structurally broken graph makes schedule construction panic, so
+    // the schedule-level analyzers only run on verified graphs.
+    if (!report.ok())
+        return report;
+
+    const memory::LivenessResult live =
+        memory::analyzeLiveness(fetches, weight_grads);
+    if (opts.with_plan) {
+        const memory::MemoryPlan plan = memory::planMemory(live);
+        report.merge(analyzeLifetimes(live, fetches, weight_grads, &plan));
+    } else {
+        report.merge(analyzeLifetimes(live, fetches, weight_grads));
+    }
+    if (opts.parallel_hazards)
+        report.merge(detectParallelHazards(buildTopology(fetches)));
+    return report;
+}
+
+bool
+verifyEnvEnabled()
+{
+    const char *env = std::getenv("ECHO_VERIFY");
+    return env != nullptr && std::strcmp(env, "1") == 0;
+}
+
+void
+verifyOrDie(const std::vector<graph::Val> &fetches, const char *what)
+{
+    const AnalysisReport report = analyzeAll(fetches);
+    if (!report.ok()) {
+        ECHO_PANIC("static analysis of ", what, " found ",
+                   report.errorCount(), " error(s):\n",
+                   report.toString());
+    }
+    if (report.warningCount() > 0)
+        ECHO_WARN("static analysis of ", what, ":\n", report.toString());
+}
+
+} // namespace echo::analysis

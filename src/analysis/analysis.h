@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Umbrella API of the static-analysis layer: one call that runs the
+ * graph verifier, the schedule lifetime analyzer (against liveness and
+ * the memory plan), and — for parallel execution — the ready-queue
+ * hazard detector over everything a fetch set depends on.
+ *
+ * Consumed three ways:
+ *  - the echo-lint CLI (tools/echo_lint.cc) for CI,
+ *  - tests, as a mandatory post-pass check,
+ *  - the training loop, behind the ECHO_VERIFY=1 environment flag
+ *    (verifyEnvEnabled / verifyOrDie).
+ */
+#ifndef ECHO_ANALYSIS_ANALYSIS_H
+#define ECHO_ANALYSIS_ANALYSIS_H
+
+#include "analysis/graph_verifier.h"
+#include "analysis/hazards.h"
+#include "analysis/lifetime.h"
+#include "analysis/numeric_verify.h"
+#include "analysis/pass_audit.h"
+#include "analysis/report.h"
+
+namespace echo::analysis {
+
+/** What analyzeAll should run. */
+struct AnalyzeOptions
+{
+    /** Replay the memory plan in the lifetime analyzer. */
+    bool with_plan = true;
+    /** Run the ready-queue hazard detector (parallel execution). */
+    bool parallel_hazards = true;
+};
+
+/**
+ * Run every applicable analyzer over the subgraph @p fetches reaches.
+ * @p weight_grads (gradient values) justify persistent lifetimes.
+ */
+AnalysisReport analyzeAll(const std::vector<graph::Val> &fetches,
+                          const std::vector<graph::Val> &weight_grads = {},
+                          const AnalyzeOptions &opts = {});
+
+/** True when the ECHO_VERIFY environment variable is set to 1. */
+bool verifyEnvEnabled();
+
+/**
+ * analyzeAll, panicking with the full report when it finds errors.
+ * @p what names the caller in the panic message.
+ */
+void verifyOrDie(const std::vector<graph::Val> &fetches,
+                 const char *what);
+
+} // namespace echo::analysis
+
+#endif // ECHO_ANALYSIS_ANALYSIS_H

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Structural verifier for the dataflow graph IR.
+ *
+ * The Echo pass and autodiff both mutate graphs (autodiff appends a
+ * backward subgraph; the pass splices in recompute clones and redirects
+ * backward edges), so a silently corrupted graph — a dangling def-use
+ * edge, a cycle, a stale shape — produces wrong gradients with no
+ * crash.  verifyGraph re-derives every invariant from scratch:
+ *
+ *  - every input edge resolves to a node of the same graph with a valid
+ *    output index,
+ *  - the def-use relation is acyclic (node ids stop being a topological
+ *    order once the pass redirects backward edges into later-id
+ *    recompute clones, so this is a real DFS, not an id comparison),
+ *  - out_shapes agree with the op's own inferShapes applied to the
+ *    producers' shapes (the op signature re-derived from oplib),
+ *  - Phase tags are coherent: forward nodes never consume backward or
+ *    recompute values, recompute nodes never consume backward values.
+ */
+#ifndef ECHO_ANALYSIS_GRAPH_VERIFIER_H
+#define ECHO_ANALYSIS_GRAPH_VERIFIER_H
+
+#include "analysis/report.h"
+
+namespace echo::analysis {
+
+/** Verify every node the graph owns. */
+AnalysisReport verifyGraph(const graph::Graph &g);
+
+/** Verify the subgraph reachable from @p fetches. */
+AnalysisReport verifyFetches(const std::vector<graph::Val> &fetches);
+
+/**
+ * Verify an explicit node universe.  Edges leaving the universe are
+ * dangling unless @p allow_external_producers (verifyFetches closes the
+ * universe over producers, verifyGraph passes the whole graph).
+ */
+AnalysisReport verifyNodes(const std::vector<graph::Node *> &nodes,
+                           bool allow_external_producers = false);
+
+} // namespace echo::analysis
+
+#endif // ECHO_ANALYSIS_GRAPH_VERIFIER_H

@@ -1,0 +1,244 @@
+#include "analysis/lifetime.h"
+
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace echo::analysis {
+
+namespace {
+
+using graph::Node;
+using graph::NodeKind;
+using graph::Val;
+using memory::LivenessResult;
+using memory::MemoryPlan;
+using memory::ValueInfo;
+
+/** Schedule sanity: positions, duplicates, topological order. */
+void
+checkSchedule(const LivenessResult &live,
+              std::unordered_map<const Node *, int> &pos,
+              AnalysisReport &report)
+{
+    for (size_t p = 0; p < live.schedule.size(); ++p) {
+        const Node *n = live.schedule[p];
+        auto [it, inserted] = pos.emplace(n, static_cast<int>(p));
+        if (!inserted) {
+            report.add(Check::kDoubleFree, Severity::kError,
+                       "node scheduled twice (slots " +
+                           std::to_string(it->second) + " and " +
+                           std::to_string(p) +
+                           "); its buffers would be freed twice",
+                       {NodeRef::of(n, static_cast<int>(p))});
+        }
+    }
+    for (size_t p = 0; p < live.schedule.size(); ++p) {
+        const Node *n = live.schedule[p];
+        for (const Val &v : n->inputs) {
+            auto it = pos.find(v.node);
+            if (it == pos.end()) {
+                report.add(Check::kUseBeforeDef, Severity::kError,
+                           "consumer scheduled but its producer is "
+                           "missing from the schedule",
+                           {NodeRef::of(v.node),
+                            NodeRef::of(n, static_cast<int>(p))});
+            } else if (it->second >= static_cast<int>(p)) {
+                report.add(Check::kUseBeforeDef, Severity::kError,
+                           "consumer scheduled at slot " +
+                               std::to_string(p) +
+                               " before its producer at slot " +
+                               std::to_string(it->second),
+                           {NodeRef::of(v.node, it->second),
+                            NodeRef::of(n, static_cast<int>(p))});
+            }
+        }
+    }
+}
+
+/** Live intervals vs actual consumer positions. */
+void
+checkIntervals(const LivenessResult &live,
+               const std::unordered_map<const Node *, int> &pos,
+               AnalysisReport &report)
+{
+    for (const ValueInfo &info : live.values) {
+        auto it = pos.find(info.val.node);
+        if (it != pos.end() && info.def_pos != it->second) {
+            report.add(Check::kUseBeforeDef, Severity::kError,
+                       "recorded def position " +
+                           std::to_string(info.def_pos) +
+                           " disagrees with schedule slot " +
+                           std::to_string(it->second),
+                       {NodeRef::of(info.val.node, it->second)});
+        }
+        if (info.last_use_pos < info.def_pos) {
+            report.add(Check::kUseAfterFree, Severity::kError,
+                       "live interval ends at " +
+                           std::to_string(info.last_use_pos) +
+                           " before it begins at " +
+                           std::to_string(info.def_pos),
+                       {NodeRef::of(info.val.node, info.def_pos)});
+        }
+    }
+
+    // Every consumer must read within the producer's live interval: the
+    // buffer is released right after last_use_pos, so a later consumer
+    // reads freed memory.
+    for (size_t p = 0; p < live.schedule.size(); ++p) {
+        const Node *n = live.schedule[p];
+        for (const Val &v : n->inputs) {
+            auto idx = live.index.find(v);
+            if (idx == live.index.end()) {
+                report.add(Check::kLeakedSlot, Severity::kError,
+                           "consumed value has no liveness record "
+                           "(untracked slot)",
+                           {NodeRef::of(v.node),
+                            NodeRef::of(n, static_cast<int>(p))});
+                continue;
+            }
+            const ValueInfo &info = live.values[idx->second];
+            if (info.persistent)
+                continue;
+            if (static_cast<int>(p) > info.last_use_pos) {
+                report.add(
+                    Check::kUseAfterFree, Severity::kError,
+                    "consumer at slot " + std::to_string(p) +
+                        " reads a buffer freed after slot " +
+                        std::to_string(info.last_use_pos),
+                    {NodeRef::of(v.node, info.def_pos),
+                     NodeRef::of(live.schedule[static_cast<size_t>(
+                                     info.last_use_pos)],
+                                 info.last_use_pos),
+                     NodeRef::of(n, static_cast<int>(p))});
+            }
+        }
+    }
+}
+
+/** Persistence must be justified, or the slot leaks for the whole run. */
+void
+checkLeaks(const LivenessResult &live, const std::vector<Val> &fetches,
+           const std::vector<Val> &weight_grads, AnalysisReport &report)
+{
+    std::unordered_set<Val, graph::ValHash> allowed(fetches.begin(),
+                                                    fetches.end());
+    allowed.insert(weight_grads.begin(), weight_grads.end());
+    for (const ValueInfo &info : live.values) {
+        if (!info.persistent)
+            continue;
+        const NodeKind kind = info.val.node->kind;
+        if (kind == NodeKind::kPlaceholder || kind == NodeKind::kWeight)
+            continue;
+        if (allowed.count(info.val))
+            continue;
+        report.add(Check::kLeakedSlot, Severity::kError,
+                   "transient marked persistent: " +
+                       std::to_string(info.bytes) +
+                       " bytes held for the whole run with no fetch, "
+                       "weight, or gradient justifying it",
+                   {NodeRef::of(info.val.node, info.def_pos)});
+    }
+}
+
+/** Replay the plan's allocations in a shadow pool. */
+void
+checkPlan(const LivenessResult &live, const MemoryPlan &plan,
+          AnalysisReport &report)
+{
+    const size_t steps = live.schedule.size();
+    std::vector<std::vector<const ValueInfo *>> defs(steps);
+    std::vector<std::vector<const ValueInfo *>> frees(steps);
+    for (const ValueInfo &info : live.values) {
+        if (info.persistent)
+            continue;
+        if (info.def_pos < 0 ||
+            static_cast<size_t>(info.def_pos) >= steps ||
+            info.last_use_pos < 0 ||
+            static_cast<size_t>(info.last_use_pos) >= steps)
+            continue; // interval errors reported by checkIntervals
+        defs[static_cast<size_t>(info.def_pos)].push_back(&info);
+        frees[static_cast<size_t>(info.last_use_pos)].push_back(&info);
+    }
+
+    // Active allocations keyed by offset; values are (end, holder).
+    std::map<int64_t, std::pair<int64_t, const ValueInfo *>> active;
+    for (size_t p = 0; p < steps; ++p) {
+        for (const ValueInfo *info : defs[p]) {
+            auto it = plan.offsets.find(info->val);
+            if (it == plan.offsets.end()) {
+                report.add(Check::kPlanMissing, Severity::kError,
+                           "transient has no planned allocation",
+                           {NodeRef::of(info->val.node, info->def_pos)});
+                continue;
+            }
+            const memory::Allocation &a = it->second;
+            if (a.bytes < info->bytes) {
+                report.add(Check::kPlanOverlap, Severity::kError,
+                           "allocation of " + std::to_string(a.bytes) +
+                               " bytes is smaller than the value's " +
+                               std::to_string(info->bytes) + " bytes",
+                           {NodeRef::of(info->val.node, info->def_pos)});
+            }
+            // Overlap with any live allocation is a write into a buffer
+            // somebody else still reads.
+            const int64_t begin = a.offset;
+            const int64_t end = a.offset + a.bytes;
+            auto next = active.lower_bound(begin);
+            if (next != active.begin()) {
+                auto prev = std::prev(next);
+                if (prev->second.first > begin) {
+                    report.add(
+                        Check::kPlanOverlap, Severity::kError,
+                        "planned bytes [" + std::to_string(begin) + ", " +
+                            std::to_string(end) +
+                            ") overlap a live allocation",
+                        {NodeRef::of(prev->second.second->val.node,
+                                     prev->second.second->def_pos),
+                         NodeRef::of(info->val.node, info->def_pos)});
+                    continue;
+                }
+            }
+            if (next != active.end() && next->first < end) {
+                report.add(
+                    Check::kPlanOverlap, Severity::kError,
+                    "planned bytes [" + std::to_string(begin) + ", " +
+                        std::to_string(end) +
+                        ") overlap a live allocation",
+                    {NodeRef::of(next->second.second->val.node,
+                                 next->second.second->def_pos),
+                     NodeRef::of(info->val.node, info->def_pos)});
+                continue;
+            }
+            active[begin] = {end, info};
+        }
+        for (const ValueInfo *info : frees[p]) {
+            auto it = plan.offsets.find(info->val);
+            if (it == plan.offsets.end())
+                continue;
+            auto a = active.find(it->second.offset);
+            if (a != active.end() && a->second.second == info)
+                active.erase(a);
+        }
+    }
+}
+
+} // namespace
+
+AnalysisReport
+analyzeLifetimes(const LivenessResult &live, const std::vector<Val> &fetches,
+                 const std::vector<Val> &weight_grads,
+                 const MemoryPlan *plan)
+{
+    AnalysisReport report;
+    std::unordered_map<const Node *, int> pos;
+    pos.reserve(live.schedule.size());
+    checkSchedule(live, pos, report);
+    checkIntervals(live, pos, report);
+    checkLeaks(live, fetches, weight_grads, report);
+    if (plan != nullptr)
+        checkPlan(live, *plan, report);
+    return report;
+}
+
+} // namespace echo::analysis

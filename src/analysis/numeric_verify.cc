@@ -1,10 +1,8 @@
-#include "echo/verify.h"
+#include "analysis/numeric_verify.h"
 
 #include <cmath>
 
-#include "core/logging.h"
-
-namespace echo::pass {
+namespace echo::analysis {
 
 VerifyResult
 compareFetches(const std::vector<Tensor> &a, const std::vector<Tensor> &b)
@@ -28,4 +26,4 @@ compareFetches(const std::vector<Tensor> &a, const std::vector<Tensor> &b)
     return res;
 }
 
-} // namespace echo::pass
+} // namespace echo::analysis

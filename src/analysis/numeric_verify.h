@@ -1,22 +1,20 @@
 /**
  * @file
- * Gradient-equivalence verification for the Echo pass.
- *
- * The rewrite replays the exact same ops on the exact same inputs, so
- * gradients must match bit-for-bit on identical input data.  The
- * verifier runs a training iteration on two graphs (typically one with
- * the pass applied and one without) built from the same model with the
- * same seeds, and reports the maximum absolute difference across all
- * fetched values.
+ * Gradient-equivalence verification (folded in from the old
+ * echo/verify.*): the Echo rewrite replays the exact same ops on the
+ * exact same inputs, so gradients must match bit-for-bit on identical
+ * input data.  compareFetches reports the maximum absolute difference
+ * across two equally long fetch lists, typically one from a rewritten
+ * graph and one from its baseline.
  */
-#ifndef ECHO_ECHO_VERIFY_H
-#define ECHO_ECHO_VERIFY_H
+#ifndef ECHO_ANALYSIS_NUMERIC_VERIFY_H
+#define ECHO_ANALYSIS_NUMERIC_VERIFY_H
 
 #include <vector>
 
 #include "tensor/tensor.h"
 
-namespace echo::pass {
+namespace echo::analysis {
 
 /** Outcome of comparing two fetch sets. */
 struct VerifyResult
@@ -35,6 +33,6 @@ struct VerifyResult
 VerifyResult compareFetches(const std::vector<Tensor> &a,
                             const std::vector<Tensor> &b);
 
-} // namespace echo::pass
+} // namespace echo::analysis
 
-#endif // ECHO_ECHO_VERIFY_H
+#endif // ECHO_ANALYSIS_NUMERIC_VERIFY_H

@@ -69,6 +69,22 @@ buildCandidate(const FeatureMap &target, bool respect_gemm_boundary)
     cand.subgraph.assign(in_region.begin(), in_region.end());
     std::sort(cand.subgraph.begin(), cand.subgraph.end(),
               [](const Node *a, const Node *b) { return a->id < b->id; });
+
+    // Interior values read across time-step boundaries stay stashed
+    // after the per-step fused rewrite (see the field's doc comment).
+    std::unordered_set<Val, graph::ValHash> pinned_set;
+    for (const Node *n : cand.subgraph)
+        for (const Val &v : n->inputs)
+            if (in_region.count(v.node) &&
+                v.node->time_step != n->time_step)
+                pinned_set.insert(v);
+    cand.pinned_interior.assign(pinned_set.begin(), pinned_set.end());
+    std::sort(cand.pinned_interior.begin(), cand.pinned_interior.end(),
+              [](const Val &a, const Val &b) {
+                  if (a.node->id != b.node->id)
+                      return a.node->id < b.node->id;
+                  return a.index < b.index;
+              });
     cand.frontier.assign(frontier_set.begin(), frontier_set.end());
     std::sort(cand.frontier.begin(), cand.frontier.end(),
               [](const Val &a, const Val &b) {

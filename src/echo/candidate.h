@@ -32,6 +32,16 @@ struct Candidate
     std::vector<Node *> subgraph;
     /** Values crossing into the subgraph (stay stashed). */
     std::vector<Val> frontier;
+    /**
+     * Interior values consumed by a subgraph node of a different time
+     * step.  The rewrite emits one fused kernel per time step (to keep
+     * the cross-step workspace shared), so these values are read from
+     * the stash by the consuming step's kernel and survive the rewrite
+     * exactly like frontier values — recomputing them saves nothing.
+     * This is the liveness interaction that makes chained LSTM
+     * cell-state regions unprofitable.
+     */
+    std::vector<Val> pinned_interior;
     /** False when the region would contain a non-recomputable op. */
     bool admissible = false;
 

@@ -1,6 +1,8 @@
 #include "echo/cost_model.h"
 
+#include <algorithm>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "core/logging.h"
 
@@ -10,7 +12,8 @@ CandidateCost
 evaluateCandidate(const Candidate &cand,
                   const std::vector<FeatureMap> &all_feature_maps,
                   const SelectionState &state,
-                  const gpusim::GpuSpec &gpu)
+                  const gpusim::GpuSpec &gpu,
+                  bool per_step_fusion)
 {
     CandidateCost cost;
     if (!cand.admissible)
@@ -20,12 +23,25 @@ evaluateCandidate(const Candidate &cand,
     for (const FeatureMap &fm : all_feature_maps)
         fm_index[fm.val] = &fm;
 
+    // With per-step fusion, cross-step interior values survive the
+    // rewrite as the consuming step's kernel frontier (see
+    // Candidate::pinned_interior); the unfused ablation chains clones
+    // instead, so there the set is empty and they really die.
+    std::unordered_set<Val, graph::ValHash> pinned;
+    if (per_step_fusion)
+        pinned.insert(cand.pinned_interior.begin(),
+                      cand.pinned_interior.end());
+
     // Bytes saved: every feature map produced inside the subgraph stops
     // being stashed across the forward/backward boundary — after the
     // rewrite it dies at its last *forward* consumer, so it no longer
     // occupies the pool during the backward pass (where the footprint
-    // peaks).  Values an earlier accepted candidate already recomputes
-    // are not counted again.
+    // peaks).  Not counted: values an earlier accepted candidate
+    // already recomputes, values pinned by another step's replay kernel
+    // (the liveness interaction that makes chained LSTM cell-state
+    // regions unprofitable — each step's c_t is pinned by step t+1's
+    // replay), and values an accepted candidate keeps stashed as its
+    // frontier.
     for (const Node *n : cand.subgraph) {
         for (int i = 0; i < const_cast<Node *>(n)->numOutputs(); ++i) {
             const Val v = const_cast<Node *>(n)->out(i);
@@ -34,28 +50,42 @@ evaluateCandidate(const Candidate &cand,
                 continue;
             if (state.recomputed.count(v))
                 continue;
+            if (pinned.count(v))
+                continue;
+            if (state.stashed.count(v))
+                continue;
             cost.bytes_saved += it->second->bytes;
         }
     }
 
-    // Bytes added: frontier values that are not already kept alive into
-    // the backward pass for some other reason.  Shared frontiers are
-    // amortized across the candidates that use them.
-    for (const Val &v : cand.frontier) {
+    // Bytes added: values the replay reads from the stash — the
+    // frontier, plus (under per-step fusion) the cross-step interior
+    // values — that are not already kept alive into the backward pass
+    // for some other reason.  Shared values are amortized across the
+    // candidates that could share them (frontier_multiplicity): that
+    // keeps jointly-profitable families alive in the ranking (no
+    // attention step breaks even against the full projected-keys
+    // tensor alone), while the caller is expected to re-check accepted
+    // candidates and report totals at full charge (empty multiplicity
+    // map == full charge).
+    auto chargeStash = [&](const Val &v) {
         if (v.node->kind != graph::NodeKind::kOp)
-            continue; // weights/placeholders are resident anyway
+            return; // weights/placeholders are resident anyway
         if (state.stashed.count(v))
-            continue; // another candidate already stashes it
+            return; // another accepted candidate already stashes it
         auto it = fm_index.find(v);
         if (it != fm_index.end() && !state.recomputed.count(v))
-            continue; // still a live feature map on its own
+            return; // still a live feature map on its own
         int sharers = 1;
         auto mit = state.frontier_multiplicity.find(v);
         if (mit != state.frontier_multiplicity.end())
             sharers = std::max(1, mit->second);
-        cost.bytes_added +=
-            graph::Graph::shapeOf(v).bytes() / sharers;
-    }
+        cost.bytes_added += graph::Graph::shapeOf(v).bytes() / sharers;
+    };
+    for (const Val &v : cand.frontier)
+        chargeStash(v);
+    for (const Val &v : pinned)
+        chargeStash(v);
 
     // Replay time: the subgraph's kernels, costed on the GPU model.
     for (const Node *n : cand.subgraph) {

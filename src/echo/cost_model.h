@@ -49,11 +49,16 @@ struct SelectionState
     /** Feature-map values already scheduled for recomputation. */
     std::unordered_set<Val, graph::ValHash> recomputed;
     /**
-     * How many candidates share each frontier value.  A frontier tensor
-     * shared by N regions (e.g.\ the projected encoder keys feeding all
-     * T attention steps) costs each region only 1/N of its stash bytes:
-     * without this joint amortization, none of the N candidates breaks
-     * even individually and the pass would miss the whole family.
+     * How many candidates share each chargeable value (frontier or
+     * pinned interior).  A frontier tensor shared by N regions (e.g.\
+     * the projected encoder keys feeding all T attention steps) costs
+     * each region only 1/N of its stash bytes: without this joint
+     * amortization, none of the N candidates breaks even individually
+     * and the pass would miss the whole family.  Amortized costs are
+     * for *ranking and provisional acceptance* only — the greedy loop
+     * prunes provisionally accepted candidates that are net-negative
+     * against the other accepted members at full charge, and reports
+     * totals recomputed at full charge over the final accepted set.
      */
     std::unordered_map<Val, int, graph::ValHash> frontier_multiplicity;
 };
@@ -63,12 +68,16 @@ struct SelectionState
  *
  * @param all_feature_maps every feature map of the graph, used to tell
  *        whether a frontier value is stashed anyway.
+ * @param per_step_fusion when true (fuse_replay), cross-step interior
+ *        values stay stashed and are charged like frontier values; the
+ *        unfused ablation chains clones instead, so they really die.
  */
 CandidateCost
 evaluateCandidate(const Candidate &cand,
                   const std::vector<FeatureMap> &all_feature_maps,
                   const SelectionState &state,
-                  const gpusim::GpuSpec &gpu);
+                  const gpusim::GpuSpec &gpu,
+                  bool per_step_fusion = true);
 
 } // namespace echo::pass
 

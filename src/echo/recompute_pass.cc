@@ -53,8 +53,10 @@ runRecomputePass(graph::Graph &g, const std::vector<Val> &fetches,
     const std::unordered_set<Val, graph::ValHash> fetch_set(
         fetches.begin(), fetches.end());
 
-    // Build candidates (two passes: the first collects frontier
-    // multiplicities so shared stash costs are amortized jointly).
+    // Build candidates (two passes: the first collects the sharing
+    // multiplicity of each chargeable value — frontier and, under
+    // per-step fusion, cross-step pinned interior — so stash costs are
+    // amortized jointly across a family of regions).
     std::vector<Candidate> candidates;
     SelectionState state;
     for (const FeatureMap &fm : fms) {
@@ -71,13 +73,31 @@ runRecomputePass(graph::Graph &g, const std::vector<Val> &fetches,
         ++res.num_admissible;
         for (const Val &v : cand.frontier)
             ++state.frontier_multiplicity[v];
+        if (config.fuse_replay)
+            for (const Val &v : cand.pinned_interior)
+                ++state.frontier_multiplicity[v];
         candidates.push_back(std::move(cand));
     }
+
+    // What an accepted candidate contributes to the selection state.
+    const auto addToState = [&config](SelectionState &st,
+                                      const Candidate &cand) {
+        for (const Val &v : cand.frontier)
+            if (v.node->kind == graph::NodeKind::kOp)
+                st.stashed.insert(v);
+        if (config.fuse_replay)
+            for (const Val &v : cand.pinned_interior)
+                st.stashed.insert(v);
+        for (Node *n : cand.subgraph)
+            for (int i = 0; i < n->numOutputs(); ++i)
+                st.recomputed.insert(n->out(i));
+    };
 
     std::vector<Scored> scored;
     for (Candidate &cand : candidates) {
         Scored s;
-        s.cost = evaluateCandidate(cand, fms, state, config.gpu);
+        s.cost = evaluateCandidate(cand, fms, state, config.gpu,
+                                   config.fuse_replay);
         s.cand = std::move(cand);
         if (s.cost.netSavings() > 0)
             scored.push_back(std::move(s));
@@ -92,31 +112,77 @@ runRecomputePass(graph::Graph &g, const std::vector<Val> &fetches,
                          b.cand.target.val.node->id;
               });
 
-    // Greedy acceptance with re-evaluation against the evolving state.
-    std::vector<const Candidate *> accepted;
+    // Greedy provisional acceptance with re-evaluation against the
+    // evolving state.  Charges stay amortized here so a family of
+    // regions sharing a large frontier can get in together.
+    double replay_used_us = 0.0;
+    std::vector<const Scored *> accepted_scored;
     for (Scored &s : scored) {
-        const CandidateCost cost =
-            evaluateCandidate(s.cand, fms, state, config.gpu);
+        const CandidateCost cost = evaluateCandidate(
+            s.cand, fms, state, config.gpu, config.fuse_replay);
         if (cost.netSavings() <= 0)
             continue;
-        if (res.replay_time_us + cost.replay_time_us > budget)
+        if (replay_used_us + cost.replay_time_us > budget)
             continue;
-        // Accept.
-        ++res.num_regions;
-        res.bytes_saved += cost.bytes_saved;
-        res.bytes_added += cost.bytes_added;
-        res.replay_time_us += cost.replay_time_us;
-        for (const Val &v : s.cand.frontier)
-            if (v.node->kind == graph::NodeKind::kOp)
-                state.stashed.insert(v);
-        for (Node *n : s.cand.subgraph)
-            for (int i = 0; i < n->numOutputs(); ++i)
-                state.recomputed.insert(n->out(i));
-        accepted.push_back(&s.cand);
+        replay_used_us += cost.replay_time_us;
+        addToState(state, s.cand);
+        accepted_scored.push_back(&s);
     }
 
-    if (accepted.empty())
+    // Amortization divides a shared value's cost among every admissible
+    // sharer, including ones that end up rejected — which can let a
+    // net-negative candidate in on a subsidy nobody pays.  Re-check
+    // each accepted candidate at full charge (empty multiplicity map)
+    // against the *other* accepted members: a genuine family member's
+    // shared values are stashed by its siblings and cost it nothing,
+    // while a phantom-subsidized region goes net-negative and is
+    // dropped.  Iterate to a fixpoint since a drop can orphan another.
+    for (bool changed = true; changed;) {
+        changed = false;
+        for (size_t i = 0; i < accepted_scored.size(); ++i) {
+            SelectionState others;
+            for (size_t j = 0; j < accepted_scored.size(); ++j)
+                if (j != i)
+                    addToState(others, accepted_scored[j]->cand);
+            const CandidateCost marginal = evaluateCandidate(
+                accepted_scored[i]->cand, fms, others, config.gpu,
+                config.fuse_replay);
+            if (marginal.netSavings() <= 0) {
+                accepted_scored.erase(accepted_scored.begin() +
+                                      static_cast<ptrdiff_t>(i));
+                changed = true;
+                break;
+            }
+        }
+    }
+
+    res.num_regions = static_cast<int>(accepted_scored.size());
+    if (accepted_scored.empty())
         return res;
+
+    // Report totals recomputed at full charge over the final accepted
+    // set, so PassResult matches what liveness will actually measure:
+    // saved = feature maps recomputed and not pinned by any replay,
+    // added = replay-read values that were not stashed before.
+    SelectionState final_state;
+    for (const Scored *s : accepted_scored)
+        addToState(final_state, s->cand);
+    {
+        std::unordered_set<Val, graph::ValHash> fm_set;
+        for (const FeatureMap &fm : fms)
+            fm_set.insert(fm.val);
+        for (const FeatureMap &fm : fms)
+            if (final_state.recomputed.count(fm.val) &&
+                !final_state.stashed.count(fm.val))
+                res.bytes_saved += fm.bytes;
+        for (const Val &v : final_state.stashed)
+            if (!fm_set.count(v))
+                res.bytes_added += graph::Graph::shapeOf(v).bytes();
+    }
+
+    std::vector<const Candidate *> accepted;
+    for (const Scored *s : accepted_scored)
+        accepted.push_back(&s->cand);
 
     // Union of accepted region nodes.
     std::unordered_set<Node *> region_nodes;

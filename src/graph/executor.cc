@@ -290,10 +290,12 @@ Executor::runParallel(const FeedDict &feed) const
                         st.error = std::current_exception();
                     ++st.completed;
                 }
-                {
-                    std::lock_guard<std::mutex> lk(st.mu);
-                    --st.inflight;
-                }
+                // Notify while holding the mutex: the dispatcher
+                // destroys RunState as soon as it observes
+                // inflight == 0, so an unlocked notify could touch the
+                // condition variable after its lifetime ends.
+                std::lock_guard<std::mutex> lk(st.mu);
+                --st.inflight;
                 st.cv.notify_all();
             });
         }

@@ -71,6 +71,9 @@ class Executor
     /** The schedule this executor runs (for inspection/tests). */
     const std::vector<Node *> &schedule() const { return schedule_; }
 
+    /** The fetch set this executor was built for. */
+    const std::vector<Val> &fetches() const { return fetches_; }
+
     /** The configured execution mode. */
     ExecMode mode() const { return mode_; }
 

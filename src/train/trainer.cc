@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "analysis/analysis.h"
 #include "core/logging.h"
 
 namespace echo::train {
@@ -15,6 +16,12 @@ runTrainingLoop(const graph::Executor &executor,
                     &apply_grads,
                 const std::function<double()> &validate)
 {
+    // Opt-in static analysis of the graph about to be trained:
+    // ECHO_VERIFY=1 runs the graph verifier, the lifetime analyzer and
+    // the parallel hazard detector, and dies on any error.
+    if (analysis::verifyEnvEnabled())
+        analysis::verifyOrDie(executor.fetches(), "training executor");
+
     std::vector<CurvePoint> curve;
     curve.reserve(static_cast<size_t>(config.iterations));
 

@@ -11,7 +11,7 @@
 #include "echo/candidate.h"
 #include "echo/feature_maps.h"
 #include "echo/recompute_pass.h"
-#include "echo/verify.h"
+#include "analysis/analysis.h"
 #include "graph/autodiff.h"
 #include "graph/executor.h"
 #include "graph/ops/oplib.h"
@@ -227,6 +227,8 @@ TEST(RecomputePass, AutoAcceptsAttentionRegions)
 {
     ToyAttentionModel m;
     m.build(2, 4, 16);
+    const analysis::GraphSnapshot snap =
+        analysis::snapshotGraph(*m.g, m.fetches, m.weight_grads);
     PassResult res = runRecomputePass(*m.g, m.fetches, {});
     EXPECT_GT(res.num_regions, 0);
     EXPECT_GT(res.num_recompute_nodes, 0);
@@ -237,6 +239,11 @@ TEST(RecomputePass, AutoAcceptsAttentionRegions)
         if (n->phase == Phase::kRecompute)
             ++recompute_nodes;
     EXPECT_EQ(recompute_nodes, res.num_recompute_nodes);
+    // Mandatory post-pass audit: diff discipline, GEMM-free replay,
+    // workspace sharing, honest footprint accounting.
+    const analysis::AnalysisReport audit = analysis::auditRecomputePass(
+        snap, *m.g, m.fetches, m.weight_grads, res, {});
+    EXPECT_TRUE(audit.ok()) << audit.toString();
 }
 
 TEST(RecomputePass, GradientsBitIdentical)
@@ -253,7 +260,7 @@ TEST(RecomputePass, GradientsBitIdentical)
     const auto out_base = ex_base.run(baseline.feed(99));
     const auto out_rw = ex_rw.run(rewritten.feed(99));
 
-    const VerifyResult vr = compareFetches(out_base, out_rw);
+    const analysis::VerifyResult vr = analysis::compareFetches(out_base, out_rw);
     EXPECT_TRUE(vr.shapes_match);
     EXPECT_EQ(vr.max_abs_diff, 0.0)
         << "recomputation must replay identical float ops";
@@ -278,6 +285,10 @@ TEST(RecomputePass, ReducesFootprint)
         rewritten.fetches, rewritten.weight_grads, opts);
 
     EXPECT_LT(after.planned_bytes, before.planned_bytes);
+    // The rewritten graph must still satisfy every static invariant.
+    EXPECT_TRUE(
+        analysis::analyzeAll(rewritten.fetches, rewritten.weight_grads)
+            .ok());
     // Attention's absolute bytes at the peak must drop (the 59% -> 6%
     // fraction collapse of Fig. 14a is demonstrated at paper scale by
     // bench/fig14_breakdown_comparison; at toy scale weights dominate
@@ -453,8 +464,8 @@ TEST(RecomputePass, FusedAndUnfusedReplayBitIdentical)
     const auto out_unfused = ex_unfused.run(unfused.feed(5));
     const auto out_fused = ex_fused.run(fused.feed(5));
 
-    EXPECT_EQ(compareFetches(out_base, out_unfused).max_abs_diff, 0.0);
-    EXPECT_EQ(compareFetches(out_base, out_fused).max_abs_diff, 0.0);
+    EXPECT_EQ(analysis::compareFetches(out_base, out_unfused).max_abs_diff, 0.0);
+    EXPECT_EQ(analysis::compareFetches(out_base, out_fused).max_abs_diff, 0.0);
 }
 
 TEST(RecomputePass, FusionReducesReplayNodesAndTime)

@@ -15,7 +15,7 @@
 
 #include "core/rng.h"
 #include "echo/recompute_pass.h"
-#include "echo/verify.h"
+#include "analysis/numeric_verify.h"
 #include "graph/autodiff.h"
 #include "graph/executor.h"
 #include "graph/ops/oplib.h"
@@ -150,7 +150,7 @@ TEST_P(PassFuzz, RewriteIsBitExactOnRandomGraphs)
         graph::Executor ex_b(rewritten.fetches);
         const auto out_a = ex_a.run(baseline.feed(seed * 31 + 7));
         const auto out_b = ex_b.run(rewritten.feed(seed * 31 + 7));
-        const VerifyResult vr = compareFetches(out_a, out_b);
+        const analysis::VerifyResult vr = analysis::compareFetches(out_a, out_b);
         EXPECT_TRUE(vr.shapes_match);
         EXPECT_EQ(vr.max_abs_diff, 0.0)
             << "seed " << seed << " fuse=" << fuse;

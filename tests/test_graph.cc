@@ -8,6 +8,7 @@
 #include <cmath>
 #include <cstring>
 
+#include "analysis/graph_verifier.h"
 #include "core/rng.h"
 #include "core/thread_pool.h"
 #include "graph/executor.h"
@@ -97,6 +98,17 @@ TEST(Schedule, TopologicalAndComplete)
     auto sched = buildSchedule({z});
     ASSERT_EQ(sched.size(), 4u);
     EXPECT_EQ(sched.back()->op->name(), "tanh");
+}
+
+TEST(Graph, BuiltGraphsPassStaticVerifier)
+{
+    Graph g;
+    Val x = g.placeholder(Shape({2, 3}), "x");
+    Val w = g.weight(Shape({4, 3}), "w");
+    Val y = g.apply1(ol::gemm(false, true), {x, w});
+    Val z = g.apply1(ol::tanhOp(), {y});
+    EXPECT_TRUE(analysis::verifyGraph(g).ok());
+    EXPECT_TRUE(analysis::verifyFetches({z}).ok());
 }
 
 TEST(Schedule, RecomputeNodesAnchorBeforeConsumer)

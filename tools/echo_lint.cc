@@ -1,0 +1,195 @@
+/**
+ * @file
+ * echo-lint: command-line front end of the static-analysis layer
+ * (src/analysis).  Builds the repo's training graphs at small presets,
+ * runs the graph verifier, the schedule lifetime analyzer, the parallel
+ * hazard detector, and — after applying the Echo recompute pass — the
+ * pass auditor, then prints every diagnostic with its offending node
+ * chain (name, op, phase, schedule slot).
+ *
+ * Exit status is the number of graphs with errors (0 = clean), so CI
+ * can gate on it.  --dot=PATH additionally dumps the violating
+ * subgraph of the first failing graph as Graphviz.
+ *
+ * usage: echo-lint [--model=word_lm|nmt|all] [--policy=off|auto|all]
+ *                  [--dot=PATH]
+ */
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/analysis.h"
+#include "echo/recompute_pass.h"
+#include "models/nmt.h"
+#include "models/word_lm.h"
+
+namespace {
+
+using namespace echo;
+
+struct LintOptions
+{
+    std::string model = "all";  // word_lm | nmt | all
+    std::string policy = "all"; // off | auto | all
+    std::string dot_path;       // empty = no dump
+};
+
+/** One graph to lint: where it came from and what it computes. */
+struct LintSubject
+{
+    std::string title;
+    const graph::Graph *graph = nullptr;
+    std::vector<graph::Val> fetches;
+    std::vector<graph::Val> weight_grads;
+    /** Set when the Echo pass ran on this graph. */
+    const analysis::GraphSnapshot *snapshot = nullptr;
+    const pass::PassResult *pass_result = nullptr;
+};
+
+int
+lintOne(const LintSubject &subject, const LintOptions &opts,
+        bool &dot_written)
+{
+    analysis::AnalysisReport report =
+        analysis::analyzeAll(subject.fetches, subject.weight_grads);
+    if (subject.snapshot != nullptr) {
+        report.merge(analysis::auditRecomputePass(
+            *subject.snapshot, *subject.graph, subject.fetches,
+            subject.weight_grads, *subject.pass_result));
+    }
+
+    std::cout << "== " << subject.title << ": ";
+    if (report.diagnostics.empty()) {
+        std::cout << "clean\n";
+        return 0;
+    }
+    std::cout << report.errorCount() << " error(s), "
+              << report.warningCount() << " warning(s)\n"
+              << report.toString();
+
+    if (!report.ok() && !opts.dot_path.empty() && !dot_written) {
+        std::vector<graph::Node *> universe;
+        for (const auto &n : subject.graph->nodes())
+            universe.push_back(n.get());
+        std::ofstream out(opts.dot_path);
+        out << analysis::violatingSubgraphDot(report, universe);
+        std::cout << "   violating subgraph written to "
+                  << opts.dot_path << "\n";
+        dot_written = true;
+    }
+    return report.ok() ? 0 : 1;
+}
+
+/**
+ * Lint one model's training graph: baseline first, then (policy
+ * permitting) rewritten by the Echo pass and audited against the
+ * pre-pass snapshot.  @p build must populate graph/fetches/weight_grads.
+ */
+template <typename Model>
+int
+lintModel(Model &model, const std::string &title,
+          const LintOptions &opts, bool &dot_written)
+{
+    int failures = 0;
+
+    LintSubject base;
+    base.title = title + " (pass off)";
+    base.graph = &model.graph();
+    base.fetches = model.fetches();
+    base.weight_grads = model.weightGrads();
+    if (opts.policy == "off" || opts.policy == "all")
+        failures += lintOne(base, opts, dot_written);
+
+    if (opts.policy == "auto" || opts.policy == "all") {
+        const analysis::GraphSnapshot snapshot = analysis::snapshotGraph(
+            model.graph(), model.fetches(), model.weightGrads());
+        pass::PassConfig cfg;
+        cfg.policy = pass::PassConfig::Policy::kAuto;
+        const pass::PassResult result = pass::runRecomputePass(
+            model.graph(), model.fetches(), cfg);
+
+        LintSubject rewritten = base;
+        rewritten.title = title + " (pass auto, " +
+                          std::to_string(result.num_regions) +
+                          " regions)";
+        rewritten.snapshot = &snapshot;
+        rewritten.pass_result = &result;
+        failures += lintOne(rewritten, opts, dot_written);
+    }
+    return failures;
+}
+
+bool
+parseArgs(int argc, char **argv, LintOptions &opts)
+{
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--model=", 0) == 0) {
+            opts.model = arg.substr(8);
+        } else if (arg.rfind("--policy=", 0) == 0) {
+            opts.policy = arg.substr(9);
+        } else if (arg.rfind("--dot=", 0) == 0) {
+            opts.dot_path = arg.substr(6);
+        } else {
+            std::cerr << "echo-lint: unknown argument " << arg << "\n"
+                      << "usage: echo-lint [--model=word_lm|nmt|all] "
+                         "[--policy=off|auto|all] [--dot=PATH]\n";
+            return false;
+        }
+    }
+    const bool model_ok = opts.model == "word_lm" ||
+                          opts.model == "nmt" || opts.model == "all";
+    const bool policy_ok = opts.policy == "off" ||
+                           opts.policy == "auto" || opts.policy == "all";
+    if (!model_ok || !policy_ok) {
+        std::cerr << "echo-lint: bad --model or --policy value\n";
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    LintOptions opts;
+    if (!parseArgs(argc, argv, opts))
+        return 2;
+
+    int failures = 0;
+    bool dot_written = false;
+
+    if (opts.model == "word_lm" || opts.model == "all") {
+        models::WordLmConfig cfg;
+        cfg.vocab = 120;
+        cfg.hidden = 16;
+        cfg.layers = 2;
+        cfg.batch = 4;
+        cfg.seq_len = 10;
+        models::WordLmModel model(cfg);
+        failures +=
+            lintModel(model, "word_lm", opts, dot_written);
+    }
+    if (opts.model == "nmt" || opts.model == "all") {
+        models::NmtConfig cfg;
+        cfg.src_vocab = 60;
+        cfg.tgt_vocab = 70;
+        cfg.hidden = 16;
+        cfg.enc_layers = 1;
+        cfg.batch = 3;
+        cfg.src_len = 8;
+        cfg.tgt_len = 8;
+        models::NmtModel model(cfg);
+        failures += lintModel(model, "nmt", opts, dot_written);
+    }
+
+    if (failures == 0)
+        std::cout << "echo-lint: all graphs clean\n";
+    else
+        std::cout << "echo-lint: " << failures
+                  << " graph(s) with errors\n";
+    return failures;
+}

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the observability layer's cost.
+ *
+ * The contract of src/obs is "near-zero disabled overhead": every
+ * instrumentation site compiles down to one relaxed atomic load when no
+ * trace is active, and counters are one relaxed fetch_add whether or
+ * not a trace is active.  These benches pin numbers on that contract:
+ *
+ *  - DisabledSpanSite: the exact guarded-span pattern the executor
+ *    uses, with tracing off — the per-op tax paid by every node.
+ *  - DisabledEmit: emitEvent() with tracing off (the pass / planner
+ *    instant-event sites).
+ *  - CounterAdd: one counter tick (always live).
+ *  - EnabledSpan / EnabledInstant: the enabled-path cost, for scale.
+ *  - TracedVsUntracedRun: a full small-graph executor run with and
+ *    without tracing, the end-to-end regression check (< 2% target).
+ */
+#include <benchmark/benchmark.h>
+
+#include "core/rng.h"
+#include "graph/executor.h"
+#include "graph/ops/oplib.h"
+#include "obs/obs.h"
+
+using namespace echo;
+
+namespace {
+
+namespace ol = graph::oplib;
+
+void
+disabledSpanSite(benchmark::State &state)
+{
+    int64_t i = 0;
+    for (auto _ : state) {
+        obs::Span span;
+        if (obs::traceEnabled())
+            span.begin("bench", "site", {{"i", i}});
+        ++i;
+        benchmark::DoNotOptimize(i);
+    }
+}
+BENCHMARK(disabledSpanSite)->Name("obs/DisabledSpanSite");
+
+void
+disabledEmit(benchmark::State &state)
+{
+    for (auto _ : state) {
+        if (obs::traceEnabled())
+            obs::emitEvent('i', "bench", "instant");
+        benchmark::ClobberMemory();
+    }
+}
+BENCHMARK(disabledEmit)->Name("obs/DisabledEmit");
+
+void
+counterAdd(benchmark::State &state)
+{
+    static obs::Counter &c = obs::counter("bench.ticks");
+    for (auto _ : state)
+        c.add(1);
+}
+BENCHMARK(counterAdd)->Name("obs/CounterAdd");
+
+void
+enabledSpan(benchmark::State &state)
+{
+    obs::startTrace();
+    int64_t i = 0;
+    for (auto _ : state) {
+        obs::Span span("bench", "site", {{"i", i}});
+        ++i;
+    }
+    obs::stopTrace();
+}
+BENCHMARK(enabledSpan)->Name("obs/EnabledSpan");
+
+void
+enabledInstant(benchmark::State &state)
+{
+    obs::startTrace();
+    for (auto _ : state)
+        obs::emitEvent('i', "bench", "instant");
+    obs::stopTrace();
+}
+BENCHMARK(enabledInstant)->Name("obs/EnabledInstant");
+
+/** A small elementwise chain; per-op cost is low, so instrumentation
+ *  overhead shows up clearly. */
+struct ChainModel
+{
+    graph::Graph g;
+    graph::Val x, y;
+
+    ChainModel()
+    {
+        x = g.placeholder(Shape({64, 64}), "x");
+        graph::Val v = x;
+        for (int i = 0; i < 32; ++i)
+            v = g.apply1(i % 2 ? ol::tanhOp() : ol::sigmoidOp(), {v});
+        y = v;
+    }
+};
+
+void
+tracedVsUntracedRun(benchmark::State &state)
+{
+    const bool traced = state.range(0) != 0;
+    ChainModel m;
+    graph::Executor ex({m.y}, graph::ExecMode::kSerial);
+    Rng rng(7);
+    graph::FeedDict feed;
+    feed[m.x.node] = Tensor::uniform(Shape({64, 64}), rng);
+
+    if (traced)
+        obs::startTrace();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(ex.run(feed));
+        if (traced) {
+            // Keep the buffers bounded over long bench runs.
+            state.PauseTiming();
+            obs::startTrace();
+            state.ResumeTiming();
+        }
+    }
+    if (traced)
+        obs::stopTrace();
+    state.SetLabel(traced ? "traced" : "untraced");
+}
+BENCHMARK(tracedVsUntracedRun)
+    ->Name("obs/GraphRun")
+    ->Arg(0)
+    ->Arg(1);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -5,6 +5,8 @@
 #include <string>
 
 #include "core/logging.h"
+#include "obs/counters.h"
+#include "obs/trace.h"
 
 namespace echo {
 
@@ -79,6 +81,8 @@ void
 ThreadPool::workerLoop()
 {
     tl_on_worker = true;
+    static obs::Counter &c_executed = obs::counter(
+        "pool.tasks_executed", obs::CounterKind::kScheduling);
     for (;;) {
         std::function<void()> job;
         {
@@ -88,7 +92,11 @@ ThreadPool::workerLoop()
                 return; // stopping and drained
             job = std::move(queue_.front());
             queue_.pop_front();
+            obs::counterSample(
+                "pool", "pool.queue_depth",
+                static_cast<int64_t>(queue_.size()));
         }
+        c_executed.add(1);
         job();
     }
 }
@@ -99,15 +107,25 @@ ThreadPool::submit(std::function<void()> fn)
     Task task;
     task.state_ = std::make_shared<Task::State>();
     std::shared_ptr<Task::State> state = task.state_;
+    static obs::Counter &c_submitted = obs::counter(
+        "pool.tasks_submitted", obs::CounterKind::kScheduling);
+    c_submitted.add(1);
     {
         std::lock_guard<std::mutex> lk(mu_);
         ECHO_CHECK(!stopping_, "submit() on a stopping ThreadPool");
         queue_.emplace_back([state, fn = std::move(fn)] {
-            try {
-                fn();
-            } catch (...) {
-                std::lock_guard<std::mutex> lk(state->mu);
-                state->error = std::current_exception();
+            // The span must close before done is signalled, so a trace
+            // stopped after wait() returns has balanced B/E pairs.
+            {
+                obs::Span span;
+                if (obs::traceEnabled())
+                    span.begin("pool", "worker.task");
+                try {
+                    fn();
+                } catch (...) {
+                    std::lock_guard<std::mutex> lk(state->mu);
+                    state->error = std::current_exception();
+                }
             }
             {
                 std::lock_guard<std::mutex> lk(state->mu);
@@ -115,6 +133,8 @@ ThreadPool::submit(std::function<void()> fn)
             }
             state->cv.notify_all();
         });
+        obs::counterSample("pool", "pool.queue_depth",
+                           static_cast<int64_t>(queue_.size()));
     }
     cv_.notify_one();
     return task;
@@ -175,6 +195,8 @@ ThreadPool::parallelForImpl(int64_t begin, int64_t end, int64_t grain,
     // that starts after this call returned finds no chunk and never
     // touches the (by then dead) closure.
     auto drain = [](const std::shared_ptr<Shared> &s) {
+        static obs::Counter &c_chunks = obs::counter(
+            "pool.parfor_chunks", obs::CounterKind::kScheduling);
         for (;;) {
             const int64_t idx =
                 s->next.fetch_add(1, std::memory_order_relaxed);
@@ -182,15 +204,24 @@ ThreadPool::parallelForImpl(int64_t begin, int64_t end, int64_t grain,
                 return;
             const int64_t b = s->begin + idx * s->chunk;
             const int64_t e = std::min(s->end, b + s->chunk);
-            tl_in_parallel_for = true;
-            try {
-                (*s->fn)(b, e);
-            } catch (...) {
-                std::lock_guard<std::mutex> lk(s->mu);
-                if (!s->error)
-                    s->error = std::current_exception();
+            c_chunks.add(1);
+            // Span closes before the chunk is counted completed, so
+            // the caller never returns with a chunk span still open.
+            {
+                obs::Span span;
+                if (obs::traceEnabled())
+                    span.begin("pool", "parfor.chunk",
+                               {{"begin", b}, {"end", e}});
+                tl_in_parallel_for = true;
+                try {
+                    (*s->fn)(b, e);
+                } catch (...) {
+                    std::lock_guard<std::mutex> lk(s->mu);
+                    if (!s->error)
+                        s->error = std::current_exception();
+                }
+                tl_in_parallel_for = false;
             }
-            tl_in_parallel_for = false;
             {
                 std::lock_guard<std::mutex> lk(s->mu);
                 ++s->completed;

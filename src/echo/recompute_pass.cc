@@ -9,6 +9,8 @@
 #include "core/logging.h"
 #include "echo/fused_region.h"
 #include "gpusim/timeline.h"
+#include "obs/counters.h"
+#include "obs/trace.h"
 
 namespace echo::pass {
 
@@ -40,6 +42,16 @@ runRecomputePass(graph::Graph &g, const std::vector<Val> &fetches,
     if (config.policy == PassConfig::Policy::kOff)
         return res;
 
+    obs::Span pass_span;
+    if (obs::traceEnabled())
+        pass_span.begin("echo", "recompute_pass");
+    static obs::Counter &c_candidates = obs::counter("echo.candidates");
+    static obs::Counter &c_admissible = obs::counter("echo.admissible");
+    static obs::Counter &c_accepted = obs::counter("echo.regions_accepted");
+    static obs::Counter &c_nodes = obs::counter("echo.recompute_nodes");
+    static obs::Counter &c_saved = obs::counter("echo.bytes_saved");
+    static obs::Counter &c_added = obs::counter("echo.bytes_added");
+
     const std::vector<FeatureMap> fms = findFeatureMaps(fetches);
     const gpusim::ProfileReport baseline =
         gpusim::simulateRun(fetches, config.gpu);
@@ -66,11 +78,19 @@ runRecomputePass(graph::Graph &g, const std::vector<Val> &fetches,
             fm.val.node->layer_tag != config.manual_tag)
             continue;
         ++res.num_candidates;
+        c_candidates.add(1);
         Candidate cand =
             buildCandidate(fm, config.respect_gemm_boundary);
-        if (!cand.admissible)
+        if (!cand.admissible) {
+            if (obs::traceEnabled())
+                obs::emitEvent('i', "echo", "candidate.inadmissible",
+                               {{"target", fm.val.node->id},
+                                {"name", fm.val.node->name},
+                                {"bytes", fm.bytes}});
             continue;
+        }
         ++res.num_admissible;
+        c_admissible.add(1);
         for (const Val &v : cand.frontier)
             ++state.frontier_multiplicity[v];
         if (config.fuse_replay)
@@ -120,9 +140,26 @@ runRecomputePass(graph::Graph &g, const std::vector<Val> &fetches,
     for (Scored &s : scored) {
         const CandidateCost cost = evaluateCandidate(
             s.cand, fms, state, config.gpu, config.fuse_replay);
-        if (cost.netSavings() <= 0)
-            continue;
-        if (replay_used_us + cost.replay_time_us > budget)
+        // One decision event per candidate region: the modeled savings
+        // and replay cost the selection acted on (paper Fig. 5/6 are
+        // assembled from exactly these numbers).
+        const bool net_positive = cost.netSavings() > 0;
+        const bool in_budget =
+            replay_used_us + cost.replay_time_us <= budget;
+        if (obs::traceEnabled()) {
+            obs::emitEvent(
+                'i', "echo",
+                net_positive && in_budget ? "region.accept"
+                                          : "region.reject",
+                {{"target", s.cand.target.val.node->id},
+                 {"name", s.cand.target.val.node->name},
+                 {"bytes_saved", cost.netSavings()},
+                 {"replay_us", cost.replay_time_us},
+                 {"reason", !net_positive ? "net_negative"
+                            : in_budget   ? "accepted"
+                                          : "over_budget"}});
+        }
+        if (!net_positive || !in_budget)
             continue;
         replay_used_us += cost.replay_time_us;
         addToState(state, s.cand);
@@ -148,6 +185,13 @@ runRecomputePass(graph::Graph &g, const std::vector<Val> &fetches,
                 accepted_scored[i]->cand, fms, others, config.gpu,
                 config.fuse_replay);
             if (marginal.netSavings() <= 0) {
+                if (obs::traceEnabled()) {
+                    obs::emitEvent(
+                        'i', "echo", "region.pruned",
+                        {{"target",
+                          accepted_scored[i]->cand.target.val.node->id},
+                         {"net_savings", marginal.netSavings()}});
+                }
                 accepted_scored.erase(accepted_scored.begin() +
                                       static_cast<ptrdiff_t>(i));
                 changed = true;
@@ -334,6 +378,11 @@ runRecomputePass(graph::Graph &g, const std::vector<Val> &fetches,
             res.replay_time_us +=
                 gpusim::estimateKernel(d, config.gpu).time_us;
     }
+
+    c_accepted.add(res.num_regions);
+    c_nodes.add(res.num_recompute_nodes);
+    c_saved.add(res.bytes_saved);
+    c_added.add(res.bytes_added);
     return res;
 }
 

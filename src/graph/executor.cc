@@ -7,6 +7,8 @@
 
 #include "core/logging.h"
 #include "core/thread_pool.h"
+#include "obs/counters.h"
+#include "obs/trace.h"
 
 namespace echo::graph {
 
@@ -18,6 +20,31 @@ namespace {
  * there are enough nodes for independent work to overlap.
  */
 constexpr size_t kMinParallelNodes = 16;
+
+/** Per-op-execution counters shared by both execution strategies. */
+void
+countOp(const Node *node)
+{
+    static obs::Counter &c_ops = obs::counter("exec.ops");
+    static obs::Counter &c_replays = obs::counter("exec.replays");
+    c_ops.add(1);
+    if (node->phase == Phase::kRecompute)
+        c_replays.add(1);
+}
+
+const char *
+phaseName(Phase p)
+{
+    switch (p) {
+      case Phase::kForward:
+        return "forward";
+      case Phase::kBackward:
+        return "backward";
+      case Phase::kRecompute:
+        return "recompute";
+    }
+    return "?";
+}
 
 } // namespace
 
@@ -98,7 +125,14 @@ Executor::useParallel() const
 std::vector<Tensor>
 Executor::run(const FeedDict &feed) const
 {
-    return useParallel() ? runParallel(feed) : runSerial(feed);
+    const bool parallel = useParallel();
+    static obs::Counter &c_runs = obs::counter("exec.runs");
+    c_runs.add(1);
+    obs::Span span;
+    if (obs::traceEnabled())
+        span.begin("exec", parallel ? "run.parallel" : "run.serial",
+                   {{"nodes", static_cast<int64_t>(schedule_.size())}});
+    return parallel ? runParallel(feed) : runSerial(feed);
 }
 
 std::vector<Tensor>
@@ -126,6 +160,13 @@ Executor::runSerial(const FeedDict &feed) const
             values[s] = {feedValue(feed, node)};
             break;
           case NodeKind::kOp: {
+            obs::Span span;
+            if (obs::traceEnabled())
+                span.begin("exec", node->op->name(),
+                           {{"node", node->id},
+                            {"slot", static_cast<int64_t>(s)},
+                            {"phase", phaseName(node->phase)}});
+            countOp(node);
             std::vector<Tensor> inputs;
             inputs.reserve(node->inputs.size());
             for (size_t i = 0; i < node->inputs.size(); ++i) {
@@ -209,6 +250,13 @@ Executor::runParallel(const FeedDict &feed) const
         std::vector<Tensor> outputs(
             static_cast<size_t>(node->numOutputs()));
         if (node->kind == NodeKind::kOp) {
+            obs::Span span;
+            if (obs::traceEnabled())
+                span.begin("exec", node->op->name(),
+                           {{"node", node->id},
+                            {"slot", slot},
+                            {"phase", phaseName(node->phase)}});
+            countOp(node);
             std::vector<Tensor> inputs;
             inputs.reserve(node->inputs.size());
             {

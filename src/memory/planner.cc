@@ -3,6 +3,8 @@
 #include <map>
 
 #include "core/logging.h"
+#include "obs/counters.h"
+#include "obs/trace.h"
 
 namespace echo::memory {
 
@@ -78,6 +80,44 @@ MemoryPlan
 planMemory(const LivenessResult &live, const PlannerOptions &opts)
 {
     MemoryPlan plan;
+    obs::Span plan_span;
+    if (obs::traceEnabled())
+        plan_span.begin("mem", "planMemory",
+                        {{"values",
+                          static_cast<int64_t>(live.values.size())},
+                         {"reuse", opts.reuse_transients ? 1 : 0}});
+    if (opts.timeline != nullptr)
+        opts.timeline->clear();
+
+    static obs::Counter &c_allocs = obs::counter("mem.allocs");
+    static obs::Counter &c_frees = obs::counter("mem.frees");
+    static obs::Counter &c_bytes_alloc =
+        obs::counter("mem.bytes_allocated");
+    static obs::Counter &c_bytes_freed = obs::counter("mem.bytes_freed");
+
+    /** Record one timeline event (and mirror it into a live trace). */
+    const auto record = [&opts](int pos, bool is_alloc,
+                                const Allocation &a,
+                                const ValueInfo &info) {
+        if (opts.timeline != nullptr) {
+            obs::MemoryEvent e;
+            e.pos = pos;
+            e.is_alloc = is_alloc;
+            e.offset = a.offset;
+            e.bytes = a.bytes;
+            e.node_id = info.val.node->id;
+            e.out_index = info.val.index;
+            e.name = info.val.node->name;
+            opts.timeline->events.push_back(std::move(e));
+        }
+        if (obs::traceEnabled()) {
+            obs::emitEvent('i', "mem", is_alloc ? "alloc" : "free",
+                           {{"pos", pos},
+                            {"offset", a.offset},
+                            {"bytes", a.bytes},
+                            {"node", info.val.node->id}});
+        }
+    };
 
     // Group transient values by def / free position.
     const size_t steps = live.schedule.size();
@@ -111,6 +151,9 @@ planMemory(const LivenessResult &live, const PlannerOptions &opts)
             }
             plan.offsets[info->val] = a;
             live_bytes += sz;
+            c_allocs.add(1);
+            c_bytes_alloc.add(sz);
+            record(static_cast<int>(p), true, a, *info);
         }
         if (live_bytes > max_live_bytes) {
             max_live_bytes = live_bytes;
@@ -121,6 +164,9 @@ planMemory(const LivenessResult &live, const PlannerOptions &opts)
             if (opts.reuse_transients)
                 pool.release(a.offset, a.bytes);
             live_bytes -= a.bytes;
+            c_frees.add(1);
+            c_bytes_freed.add(a.bytes);
+            record(static_cast<int>(p), false, a, *info);
         }
     }
 

@@ -17,6 +17,7 @@
 #include <unordered_map>
 
 #include "memory/liveness.h"
+#include "obs/memory_timeline.h"
 
 namespace echo::memory {
 
@@ -27,6 +28,12 @@ struct PlannerOptions
     int64_t alignment = 256;
     /** When false, transients never share memory (ablation mode). */
     bool reuse_transients = true;
+    /**
+     * When set, every transient allocation/free is recorded here with
+     * its schedule position, so the plan's footprint curve can be
+     * replayed and audited (obs::replayTimeline).  Cleared first.
+     */
+    obs::MemoryTimeline *timeline = nullptr;
 };
 
 /** A planned allocation. */

@@ -1,0 +1,101 @@
+#include "obs/memory_timeline.h"
+
+#include <map>
+#include <ostream>
+#include <sstream>
+
+namespace echo::obs {
+
+TimelineReplay
+replayTimeline(const MemoryTimeline &timeline)
+{
+    TimelineReplay out;
+
+    // Live allocations keyed by offset -> size.  std::map gives the
+    // neighbors in address order, so an overlap check is one
+    // lower_bound plus a look at the predecessor.
+    std::map<int64_t, int64_t> live;
+    int64_t live_bytes = 0;
+    int64_t pos_high_water = 0;
+    int cur_pos = -1;
+    bool have_cur = false;
+
+    auto flushPos = [&]() {
+        if (!have_cur)
+            return;
+        out.curve.push_back({cur_pos, live_bytes, pos_high_water});
+        pos_high_water = live_bytes;
+    };
+
+    for (const MemoryEvent &e : timeline.events) {
+        if (!have_cur || e.pos != cur_pos) {
+            flushPos();
+            cur_pos = e.pos;
+            have_cur = true;
+            pos_high_water = live_bytes;
+        }
+        if (e.is_alloc) {
+            // Overlap: the first block at or after e.offset must start
+            // at or beyond our end, and the block before must end at
+            // or before our start.
+            auto next = live.lower_bound(e.offset);
+            if (next != live.end() &&
+                next->first < e.offset + e.bytes) {
+                std::ostringstream msg;
+                msg << "overlap: [" << e.offset << ", "
+                    << e.offset + e.bytes << ") of node #" << e.node_id
+                    << " (" << e.name << ") vs live block at "
+                    << next->first;
+                out.violations.push_back(msg.str());
+            }
+            if (next != live.begin()) {
+                auto prev = std::prev(next);
+                if (prev->first + prev->second > e.offset) {
+                    std::ostringstream msg;
+                    msg << "overlap: [" << e.offset << ", "
+                        << e.offset + e.bytes << ") of node #"
+                        << e.node_id << " (" << e.name
+                        << ") vs live block at " << prev->first;
+                    out.violations.push_back(msg.str());
+                }
+            }
+            live[e.offset] = e.bytes;
+            live_bytes += e.bytes;
+            if (live_bytes > pos_high_water)
+                pos_high_water = live_bytes;
+            if (live_bytes > out.live_peak_bytes) {
+                out.live_peak_bytes = live_bytes;
+                out.peak_pos = e.pos;
+            }
+            if (e.offset + e.bytes > out.address_peak_bytes)
+                out.address_peak_bytes = e.offset + e.bytes;
+        } else {
+            auto it = live.find(e.offset);
+            if (it == live.end() || it->second != e.bytes) {
+                std::ostringstream msg;
+                msg << "free of "
+                    << (it == live.end() ? "unknown" : "mis-sized")
+                    << " block at offset " << e.offset << " (node #"
+                    << e.node_id << ", " << e.name << ")";
+                out.violations.push_back(msg.str());
+            } else {
+                live_bytes -= it->second;
+                live.erase(it);
+            }
+        }
+    }
+    flushPos();
+    out.outstanding_bytes = live_bytes;
+    return out;
+}
+
+void
+writeFootprintCsv(const TimelineReplay &replay, std::ostream &out)
+{
+    out << "pos,live_bytes,high_water_bytes\n";
+    for (const FootprintPoint &p : replay.curve)
+        out << p.pos << ',' << p.live_bytes << ','
+            << p.high_water_bytes << '\n';
+}
+
+} // namespace echo::obs

@@ -1,0 +1,19 @@
+/**
+ * @file
+ * Umbrella header of the observability layer: spans + trace export
+ * (obs/trace.h), monotonic counters (obs/counters.h), and the memory
+ * timeline recorder/replay (obs/memory_timeline.h).
+ *
+ * Everything is gated behind ECHO_TRACE=<path> (or a programmatic
+ * startTrace()); with tracing disabled, instrumentation costs one
+ * relaxed atomic load per span site and one relaxed atomic add per
+ * counter tick.
+ */
+#ifndef ECHO_OBS_OBS_H
+#define ECHO_OBS_OBS_H
+
+#include "obs/counters.h"
+#include "obs/memory_timeline.h"
+#include "obs/trace.h"
+
+#endif // ECHO_OBS_OBS_H

@@ -1,0 +1,379 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+namespace echo::obs {
+
+namespace detail {
+std::atomic<bool> g_trace_enabled{false};
+} // namespace detail
+
+namespace {
+
+/**
+ * Internal invariant check.  obs sits below core (core/thread_pool is
+ * itself instrumented), so it cannot use core/logging without a
+ * dependency cycle; a local abort-with-message is enough.
+ */
+void
+obsCheck(bool cond, const char *what)
+{
+    if (!cond) {
+        std::fprintf(stderr, "echo/obs: invariant violated: %s\n", what);
+        std::abort();
+    }
+}
+
+using Clock = std::chrono::steady_clock;
+
+/** Per-thread event buffer; owned by the registry, written by one
+ *  thread, drained by whoever flushes.  The mutex is uncontended except
+ *  during a flush. */
+struct EventBuffer
+{
+    std::mutex mu;
+    uint32_t tid = 0;
+    std::vector<TraceEvent> events;
+    /** 'B' events minus 'E' events; stopTrace waits for 0 so exported
+     *  traces have balanced span pairs. */
+    int64_t open_spans = 0;
+};
+
+/** All trace state behind one mutex (buffer list, output path).  The
+ *  hot path touches it only once per thread per trace, to acquire a
+ *  buffer; the epoch and generation are atomics so the append path
+ *  never takes the registry lock. */
+struct Registry
+{
+    std::mutex mu;
+    std::vector<std::unique_ptr<EventBuffer>> buffers;
+    /** Buffers of earlier traces: kept alive (never freed) so a thread
+     *  holding a stale pointer across startTrace() can never write to
+     *  freed memory; its events are simply dropped from snapshots. */
+    std::vector<std::unique_ptr<EventBuffer>> retired;
+    /** Trace epoch as steady-clock nanoseconds. */
+    std::atomic<int64_t> epoch_ns{0};
+    std::string path;
+    /** Bumped by startTrace so stale thread-local buffer pointers from
+     *  a previous trace are re-acquired, not written into. */
+    std::atomic<uint64_t> generation{0};
+};
+
+Registry &
+registry()
+{
+    static Registry *r = new Registry; // never destroyed: threads may
+    return *r;                         // outlive static teardown
+}
+
+thread_local EventBuffer *tl_buffer = nullptr;
+thread_local uint64_t tl_generation = 0;
+
+EventBuffer &
+myBuffer()
+{
+    Registry &r = registry();
+    const uint64_t gen = r.generation.load(std::memory_order_acquire);
+    if (tl_buffer == nullptr || tl_generation != gen) {
+        std::lock_guard<std::mutex> lk(r.mu);
+        r.buffers.push_back(std::make_unique<EventBuffer>());
+        r.buffers.back()->tid =
+            static_cast<uint32_t>(r.buffers.size() - 1);
+        tl_buffer = r.buffers.back().get();
+        tl_generation = gen;
+    }
+    return *tl_buffer;
+}
+
+int64_t
+steadyNs()
+{
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               Clock::now().time_since_epoch())
+        .count();
+}
+
+int64_t
+nowNs()
+{
+    return steadyNs() -
+           registry().epoch_ns.load(std::memory_order_acquire);
+}
+
+void
+appendJsonString(std::string &out, const std::string &s)
+{
+    out += '"';
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+}
+
+void
+appendEventJson(std::string &out, const TraceEvent &e)
+{
+    char buf[64];
+    out += "{\"ph\":\"";
+    out += e.ph;
+    out += "\",\"ts\":";
+    // Microseconds with nanosecond decimals, the TEF convention.
+    std::snprintf(buf, sizeof(buf), "%.3f",
+                  static_cast<double>(e.ts_ns) / 1000.0);
+    out += buf;
+    out += ",\"pid\":1,\"tid\":";
+    std::snprintf(buf, sizeof(buf), "%u", e.tid);
+    out += buf;
+    out += ",\"cat\":";
+    appendJsonString(out, e.cat);
+    out += ",\"name\":";
+    appendJsonString(out, e.name);
+    if (!e.args.empty()) {
+        out += ",\"args\":{";
+        for (size_t i = 0; i < e.args.size(); ++i) {
+            const Arg &a = e.args[i];
+            if (i > 0)
+                out += ',';
+            appendJsonString(out, a.key);
+            out += ':';
+            switch (a.kind) {
+              case Arg::Kind::kInt:
+                std::snprintf(buf, sizeof(buf), "%lld",
+                              static_cast<long long>(a.i));
+                out += buf;
+                break;
+              case Arg::Kind::kDouble:
+                std::snprintf(buf, sizeof(buf), "%.6g", a.d);
+                out += buf;
+                break;
+              case Arg::Kind::kString:
+                appendJsonString(out, a.s);
+                break;
+            }
+        }
+        out += '}';
+    }
+    out += '}';
+}
+
+/** ECHO_TRACE=<path>: enable at startup, flush at process exit. */
+struct EnvActivation
+{
+    EnvActivation()
+    {
+        const char *path = std::getenv("ECHO_TRACE");
+        if (path == nullptr || path[0] == '\0')
+            return;
+        startTrace(path);
+        std::atexit([] {
+            if (traceEnabled())
+                stopTrace();
+        });
+    }
+};
+EnvActivation g_env_activation;
+
+} // namespace
+
+void
+startTrace(const std::string &path)
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lk(r.mu);
+    for (auto &b : r.buffers)
+        r.retired.push_back(std::move(b));
+    r.buffers.clear();
+    r.generation.fetch_add(1, std::memory_order_release);
+    r.epoch_ns.store(steadyNs(), std::memory_order_release);
+    r.path = path;
+    detail::g_trace_enabled.store(true, std::memory_order_release);
+}
+
+namespace {
+
+/** Sum of open span depths over the live trace's buffers. */
+int64_t
+openSpanCount()
+{
+    Registry &r = registry();
+    std::vector<EventBuffer *> bufs;
+    {
+        std::lock_guard<std::mutex> lk(r.mu);
+        for (auto &b : r.buffers)
+            bufs.push_back(b.get());
+    }
+    int64_t open = 0;
+    for (EventBuffer *b : bufs) {
+        std::lock_guard<std::mutex> lk(b->mu);
+        open += b->open_spans;
+    }
+    return open;
+}
+
+} // namespace
+
+std::string
+stopTrace()
+{
+    detail::g_trace_enabled.store(false, std::memory_order_release);
+    // Spans that began before the disable still close (endSpan is not
+    // gated on the enabled flag); give in-flight ones a bounded window
+    // to drain so the exported trace has balanced B/E pairs even when
+    // another thread's completion was signalled just before its 'E'
+    // landed.
+    for (int i = 0; i < 100 && openSpanCount() > 0; ++i)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    const std::string json = traceJson();
+    Registry &r = registry();
+    std::string path;
+    {
+        std::lock_guard<std::mutex> lk(r.mu);
+        path.swap(r.path);
+    }
+    if (!path.empty()) {
+        std::ofstream out(path);
+        obsCheck(out.good(), "cannot open ECHO_TRACE output file");
+        out << json;
+    }
+    return json;
+}
+
+std::vector<TraceEvent>
+snapshotEvents()
+{
+    Registry &r = registry();
+    // Snapshot the buffer list, then each buffer under its own lock:
+    // buffers are never removed while a trace's events are readable.
+    std::vector<EventBuffer *> bufs;
+    {
+        std::lock_guard<std::mutex> lk(r.mu);
+        for (auto &b : r.buffers)
+            bufs.push_back(b.get());
+    }
+    std::vector<TraceEvent> out;
+    for (EventBuffer *b : bufs) {
+        std::lock_guard<std::mutex> lk(b->mu);
+        out.insert(out.end(), b->events.begin(), b->events.end());
+    }
+    return out;
+}
+
+std::string
+traceJson()
+{
+    const std::vector<TraceEvent> events = snapshotEvents();
+    std::string out = "{\"traceEvents\":[";
+    for (size_t i = 0; i < events.size(); ++i) {
+        if (i > 0)
+            out += ",\n";
+        appendEventJson(out, events[i]);
+    }
+    out += "],\"displayTimeUnit\":\"ms\"}\n";
+    return out;
+}
+
+namespace {
+
+/** Append one event to the calling thread's buffer, unconditionally. */
+void
+appendEvent(char ph, const char *cat, std::string name,
+            std::vector<Arg> args)
+{
+    TraceEvent e;
+    e.ph = ph;
+    e.ts_ns = nowNs();
+    e.cat = cat;
+    e.name = std::move(name);
+    e.args = std::move(args);
+    EventBuffer &buf = myBuffer();
+    e.tid = buf.tid;
+    std::lock_guard<std::mutex> lk(buf.mu);
+    buf.open_spans += ph == 'B' ? 1 : ph == 'E' ? -1 : 0;
+    buf.events.push_back(std::move(e));
+}
+
+} // namespace
+
+void
+emitEvent(char ph, const char *cat, std::string name,
+          std::vector<Arg> args)
+{
+    // Acquire pairs with startTrace's release stores, so the epoch and
+    // generation this event reads are the live trace's.
+    if (!detail::g_trace_enabled.load(std::memory_order_acquire))
+        return;
+    appendEvent(ph, cat, std::move(name), std::move(args));
+}
+
+namespace detail {
+
+uint64_t
+beginSpan(const char *cat, std::string name, std::vector<Arg> args)
+{
+    if (!g_trace_enabled.load(std::memory_order_acquire))
+        return kNoSpanGeneration;
+    const uint64_t gen =
+        registry().generation.load(std::memory_order_acquire);
+    appendEvent('B', cat, std::move(name), std::move(args));
+    return gen;
+}
+
+void
+endSpan(const char *cat, uint64_t generation)
+{
+    // Deliberately NOT gated on g_trace_enabled: a span whose 'B' was
+    // recorded closes even if the trace was stopped meanwhile, so
+    // stopTrace()'s drain observes balanced buffers.  Only a trace
+    // *restart* (new generation) drops the orphaned 'E'.
+    if (registry().generation.load(std::memory_order_acquire) !=
+        generation)
+        return;
+    appendEvent('E', cat, "", {});
+}
+
+} // namespace detail
+
+void
+counterSample(const char *cat, const char *name, int64_t value)
+{
+    if (!traceEnabled())
+        return;
+    emitEvent('C', cat, name, {{"value", value}});
+}
+
+size_t
+debugBufferCount()
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lk(r.mu);
+    return r.buffers.size();
+}
+
+} // namespace echo::obs

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Structured tracing: scoped, thread-aware spans collected into
+ * per-thread event buffers and exported in the Chrome Trace Event
+ * Format (chrome://tracing / Perfetto "traceEvents" JSON).
+ *
+ * Design rules:
+ *  - Disabled is the common case and costs one relaxed atomic load per
+ *    instrumentation site: no event is built, no buffer is allocated,
+ *    no string is copied.  Enable with ECHO_TRACE=<path> (flushed to
+ *    <path> at process exit) or programmatically with startTrace().
+ *  - Each thread appends to its own buffer, acquired once per thread
+ *    per trace; the append path takes only that buffer's (uncontended)
+ *    mutex, never a global lock.  Buffers are owned by a central
+ *    registry so they survive thread exit and can be flushed from any
+ *    thread.
+ *  - Spans are B/E event pairs on the emitting thread, so per-thread
+ *    timestamps are monotone and B/E pairs balance per tid by
+ *    construction — the schema the tests enforce.
+ *
+ * The event model is deliberately small: 'B'/'E' span pairs, 'i'
+ * instants (one-off decisions, e.g. the Echo pass accepting a region),
+ * and 'C' counter samples (e.g. thread-pool queue depth).
+ */
+#ifndef ECHO_OBS_TRACE_H
+#define ECHO_OBS_TRACE_H
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace echo::obs {
+
+/** One key/value annotation on an event ("args" in the JSON). */
+struct Arg
+{
+    enum class Kind { kInt, kDouble, kString };
+
+    const char *key = "";
+    Kind kind = Kind::kInt;
+    int64_t i = 0;
+    double d = 0.0;
+    std::string s;
+
+    Arg(const char *k, int64_t v) : key(k), kind(Kind::kInt), i(v) {}
+    Arg(const char *k, int v) : Arg(k, static_cast<int64_t>(v)) {}
+    Arg(const char *k, double v) : key(k), kind(Kind::kDouble), d(v) {}
+    Arg(const char *k, std::string v)
+        : key(k), kind(Kind::kString), s(std::move(v))
+    {
+    }
+    Arg(const char *k, const char *v) : Arg(k, std::string(v)) {}
+};
+
+/** One trace event, in the Trace Event Format vocabulary. */
+struct TraceEvent
+{
+    /** 'B' span begin, 'E' span end, 'i' instant, 'C' counter. */
+    char ph = 'i';
+    /** Nanoseconds since the trace epoch (exported as µs). */
+    int64_t ts_ns = 0;
+    /** Small sequential thread id (registration order, not OS tid). */
+    uint32_t tid = 0;
+    std::string name;
+    /** Category; instrumentation sites pass string literals. */
+    const char *cat = "";
+    std::vector<Arg> args;
+};
+
+namespace detail {
+extern std::atomic<bool> g_trace_enabled;
+
+/** Returned by beginSpan when the 'B' was not emitted (disabled). */
+inline constexpr uint64_t kNoSpanGeneration = ~0ull;
+
+/** Emit a 'B' event; returns the trace generation it was recorded
+ *  under, or kNoSpanGeneration when tracing is disabled. */
+uint64_t beginSpan(const char *cat, std::string name,
+                   std::vector<Arg> args);
+
+/**
+ * Emit the matching 'E' event.  Runs even if tracing was disabled
+ * meanwhile — stopTrace() waits for open spans so exported traces
+ * balance — but drops the event if @p generation is not the live
+ * trace's (startTrace() was called while the span was open).
+ */
+void endSpan(const char *cat, uint64_t generation);
+} // namespace detail
+
+/** True while a trace is being collected (relaxed load; hot path). */
+inline bool
+traceEnabled()
+{
+    return detail::g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+/**
+ * Begin collecting.  Clears previously collected events.  @p path is
+ * where stopTrace() writes the JSON; empty collects in memory only
+ * (tests).
+ */
+void startTrace(const std::string &path = "");
+
+/**
+ * Stop collecting and flush: writes the JSON to the startTrace() path
+ * (if any) and returns it.  Collected events stay readable via
+ * snapshotEvents() until the next startTrace().
+ */
+std::string stopTrace();
+
+/** Copy of every event collected so far (any thread; trace may be live). */
+std::vector<TraceEvent> snapshotEvents();
+
+/** Serialize the collected events as Trace Event Format JSON. */
+std::string traceJson();
+
+/** Emit one event on the calling thread's buffer (no-op when disabled). */
+void emitEvent(char ph, const char *cat, std::string name,
+               std::vector<Arg> args = {});
+
+/** Emit a 'C' counter sample (no-op when disabled). */
+void counterSample(const char *cat, const char *name, int64_t value);
+
+/** Number of per-thread buffers the registry owns (tests: disabled-mode
+ *  instrumentation must not create any). */
+size_t debugBufferCount();
+
+/**
+ * Scoped span: begin() (or the arg-taking constructor) emits 'B', the
+ * destructor emits the matching 'E' on the same thread.  The default
+ * constructor plus an explicitly guarded begin() keeps disabled-mode
+ * cost at one branch with no argument construction:
+ *
+ *   obs::Span span;
+ *   if (obs::traceEnabled())
+ *       span.begin("exec", node->op->name(), {{"slot", s}});
+ */
+class Span
+{
+  public:
+    Span() = default;
+
+    Span(const char *cat, std::string name, std::vector<Arg> args = {})
+    {
+        if (traceEnabled())
+            begin(cat, std::move(name), std::move(args));
+    }
+
+    /** Emit the 'B' event now; the destructor will emit 'E'. */
+    void
+    begin(const char *cat, std::string name, std::vector<Arg> args = {})
+    {
+        cat_ = cat;
+        generation_ =
+            detail::beginSpan(cat, std::move(name), std::move(args));
+    }
+
+    ~Span()
+    {
+        if (generation_ != detail::kNoSpanGeneration)
+            detail::endSpan(cat_, generation_);
+    }
+
+    Span(const Span &) = delete;
+    Span &operator=(const Span &) = delete;
+
+  private:
+    const char *cat_ = "";
+    uint64_t generation_ = detail::kNoSpanGeneration;
+};
+
+} // namespace echo::obs
+
+#endif // ECHO_OBS_TRACE_H

@@ -4,6 +4,8 @@
 
 #include "analysis/analysis.h"
 #include "core/logging.h"
+#include "obs/counters.h"
+#include "obs/trace.h"
 
 namespace echo::train {
 
@@ -25,7 +27,12 @@ runTrainingLoop(const graph::Executor &executor,
     std::vector<CurvePoint> curve;
     curve.reserve(static_cast<size_t>(config.iterations));
 
+    static obs::Counter &c_iters = obs::counter("train.iterations");
     for (int64_t it = 0; it < config.iterations; ++it) {
+        obs::Span iter_span;
+        if (obs::traceEnabled())
+            iter_span.begin("train", "train.iteration", {{"step", it}});
+        c_iters.add(1);
         const graph::FeedDict feed = make_feed(it);
         const std::vector<Tensor> out = executor.run(feed);
         ECHO_CHECK(!out.empty(), "training executor fetched nothing");
@@ -34,6 +41,9 @@ runTrainingLoop(const graph::Executor &executor,
 
         std::vector<Tensor> grads(out.begin() + 1, out.end());
         apply_grads(loss, grads);
+        if (obs::traceEnabled())
+            obs::emitEvent('i', "train", "train.loss",
+                           {{"step", it}, {"loss", loss}});
 
         CurvePoint p;
         p.step = it + 1;
@@ -43,6 +53,10 @@ runTrainingLoop(const graph::Executor &executor,
         p.perplexity = perplexity(loss);
         if (validate && config.validate_every > 0 &&
             (it + 1) % config.validate_every == 0) {
+            obs::Span val_span;
+            if (obs::traceEnabled())
+                val_span.begin("train", "train.validate",
+                               {{"step", it}});
             p.validation = validate();
         }
         curve.push_back(p);

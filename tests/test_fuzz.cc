@@ -7,11 +7,22 @@
  *  - the rewrite never changes a single output bit (fused or unfused),
  *  - the pass never recomputes a GEMM-class op,
  *  - the memory plan never overlaps simultaneously live values,
+ *  - the planner's recorded memory timeline replays consistently (no
+ *    overlapping live allocations, peak equal to the plan's pool peak,
+ *    pool peak never below the liveness lower bound),
  *  - analytic gradients match finite differences.
+ *
+ * Seeds are reproducible: every failure message carries the seed and
+ * the rerun recipe, and the seed set can be overridden with
+ * ECHO_FUZZ_SEED=<n> (just that seed) or ECHO_FUZZ_ITERS=<n> (n
+ * derived seeds) without recompiling.
  */
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstdlib>
+#include <string>
 
 #include "core/rng.h"
 #include "echo/recompute_pass.h"
@@ -20,9 +31,42 @@
 #include "graph/executor.h"
 #include "graph/ops/oplib.h"
 #include "memory/planner.h"
+#include "obs/memory_timeline.h"
 
 namespace echo::pass {
 namespace {
+
+/**
+ * The parameter set for every fuzz suite below.  Defaults to a fixed
+ * seed list (stable CI); ECHO_FUZZ_SEED pins a single failing seed for
+ * a repro run, ECHO_FUZZ_ITERS widens the sweep to n seeds derived
+ * from a fixed stream.
+ */
+std::vector<uint64_t>
+fuzzSeeds()
+{
+    if (const char *env = std::getenv("ECHO_FUZZ_SEED")) {
+        return {std::strtoull(env, nullptr, 10)};
+    }
+    if (const char *env = std::getenv("ECHO_FUZZ_ITERS")) {
+        const int64_t n = std::strtoll(env, nullptr, 10);
+        std::vector<uint64_t> seeds;
+        Rng rng(0xEC40F022u);
+        for (int64_t i = 0; i < n; ++i)
+            seeds.push_back(rng.uniformInt(1u << 30));
+        return seeds.empty() ? std::vector<uint64_t>{1u} : seeds;
+    }
+    return {1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u, 55u, 89u};
+}
+
+/** Failure annotation: the seed plus how to rerun exactly this case. */
+std::string
+repro(uint64_t seed)
+{
+    return "seed " + std::to_string(seed) +
+           " (rerun: ECHO_FUZZ_SEED=" + std::to_string(seed) +
+           " ./test_fuzz)";
+}
 
 namespace ol = graph::oplib;
 using graph::FeedDict;
@@ -153,7 +197,7 @@ TEST_P(PassFuzz, RewriteIsBitExactOnRandomGraphs)
         const analysis::VerifyResult vr = analysis::compareFetches(out_a, out_b);
         EXPECT_TRUE(vr.shapes_match);
         EXPECT_EQ(vr.max_abs_diff, 0.0)
-            << "seed " << seed << " fuse=" << fuse;
+            << repro(seed) << " fuse=" << fuse;
     }
 }
 
@@ -168,7 +212,8 @@ TEST_P(PassFuzz, NeverRecomputesGemms)
     for (const auto &n : m.g->nodes()) {
         if (n->phase == graph::Phase::kRecompute) {
             EXPECT_TRUE(n->op->cheapToRecompute())
-                << "recompute node runs " << n->op->name();
+                << repro(GetParam()) << " recompute node runs "
+                << n->op->name();
         }
     }
 }
@@ -200,7 +245,7 @@ TEST_P(PassFuzz, PlanNeverOverlapsLiveValuesAfterRewrite)
             const bool disjoint =
                 pa.offset + pa.bytes <= pb.offset ||
                 pb.offset + pb.bytes <= pa.offset;
-            ASSERT_TRUE(disjoint) << "seed " << GetParam();
+            ASSERT_TRUE(disjoint) << repro(GetParam());
         }
     }
 }
@@ -228,13 +273,67 @@ TEST_P(PassFuzz, GradientsMatchFiniteDifferences)
         const double numeric = (up - down) / (2.0 * eps);
         EXPECT_NEAR(analytic[1].at(j), numeric,
                     5e-2 * std::max(1.0, std::abs(numeric)))
-            << "seed " << GetParam() << " element " << j;
+            << repro(GetParam()) << " element " << j;
+    }
+}
+
+TEST_P(PassFuzz, TimelineReplayMatchesPlanAndLivenessBound)
+{
+    const uint64_t seed = GetParam();
+    for (const bool run_pass : {false, true}) {
+        RandomModel m;
+        m.build(seed, 24);
+        if (run_pass) {
+            PassConfig cfg;
+            cfg.overhead_budget_fraction = -1.0;
+            runRecomputePass(*m.g, m.fetches, cfg);
+        }
+
+        const auto live =
+            memory::analyzeLiveness(m.fetches, m.weight_grads);
+        obs::MemoryTimeline timeline;
+        memory::PlannerOptions opts;
+        opts.timeline = &timeline;
+        const auto plan = memory::planMemory(live, opts);
+        const obs::TimelineReplay replay =
+            obs::replayTimeline(timeline);
+
+        for (const std::string &v : replay.violations)
+            ADD_FAILURE() << repro(seed) << " pass=" << run_pass
+                          << ": " << v;
+        EXPECT_EQ(replay.outstanding_bytes, 0)
+            << repro(seed) << " pass=" << run_pass;
+        EXPECT_EQ(replay.address_peak_bytes, plan.pool_peak_bytes)
+            << repro(seed) << " pass=" << run_pass;
+
+        // Liveness lower bound: at each schedule position, the sum of
+        // aligned sizes of transients live there.  The replayed live
+        // peak must equal it, and no pool layout can beat it.
+        const auto align_up = [&](int64_t b) {
+            return (b + opts.alignment - 1) / opts.alignment *
+                   opts.alignment;
+        };
+        int64_t bound = 0;
+        for (size_t p = 0; p < live.schedule.size(); ++p) {
+            int64_t at_p = 0;
+            for (const auto &v : live.values) {
+                if (v.persistent)
+                    continue;
+                if (v.def_pos <= static_cast<int>(p) &&
+                    static_cast<int>(p) <= v.last_use_pos)
+                    at_p += align_up(v.bytes);
+            }
+            bound = std::max(bound, at_p);
+        }
+        EXPECT_EQ(replay.live_peak_bytes, bound)
+            << repro(seed) << " pass=" << run_pass;
+        EXPECT_GE(plan.pool_peak_bytes, bound)
+            << repro(seed) << " pass=" << run_pass;
     }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PassFuzz,
-                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u,
-                                           21u, 34u, 55u, 89u));
+                         ::testing::ValuesIn(fuzzSeeds()));
 
 } // namespace
 } // namespace echo::pass

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Serving throughput/latency bench: closed-loop load against the
+ * inference server for both paper models, end-to-end from checkpoints.
+ *
+ * For each model a freshly initialized parameter store is saved with
+ * saveParams and served back through InferenceSession::fromCheckpoint,
+ * exercising the full load path.  Clients submit back-to-back
+ * (closed-loop), so the offered load scales with the client count; at
+ * saturation the dynamic batcher should fill micro-batches and deliver
+ * a clear throughput multiple over a single-slot (batching-off)
+ * server at the same thread count — the row pair the table ends with.
+ */
+#include <chrono>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/rng.h"
+#include "models/nmt.h"
+#include "models/serialize.h"
+#include "models/word_lm.h"
+#include "serve/server.h"
+
+namespace {
+
+using namespace echo;
+
+struct LoadResult
+{
+    double throughput_rps = 0.0;
+    double p50_ms = 0.0;
+    double p95_ms = 0.0;
+    double p99_ms = 0.0;
+    double mean_batch = 0.0;
+};
+
+/** Closed-loop load: each client submits back-to-back requests. */
+LoadResult
+runLoad(const std::string &ckpt, const serve::SessionConfig &scfg,
+        int clients, int requests_per_client, int64_t max_new)
+{
+    auto session = serve::InferenceSession::fromCheckpoint(ckpt, scfg);
+    serve::ServerConfig server_cfg;
+    server_cfg.queue_capacity = 1024; // closed loop: never reject
+    server_cfg.max_wait = std::chrono::microseconds(500);
+    serve::Server server(std::move(session), server_cfg);
+
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<size_t>(clients));
+    for (int c = 0; c < clients; ++c) {
+        threads.emplace_back([&, c] {
+            Rng rng(static_cast<uint64_t>(c) * 7919 + 17);
+            for (int i = 0; i < requests_per_client; ++i) {
+                serve::Request req;
+                const int64_t len = 2 + static_cast<int64_t>(
+                                            rng.uniformInt(6));
+                for (int64_t t = 0; t < len; ++t)
+                    req.tokens.push_back(
+                        3 + static_cast<int64_t>(rng.uniformInt(40)));
+                req.max_new_tokens = max_new;
+                server.submit(std::move(req)).get();
+            }
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    const double elapsed_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    server.stop();
+
+    const serve::ServerStats stats = server.stats();
+    LoadResult res;
+    res.throughput_rps =
+        static_cast<double>(stats.completed) / elapsed_s;
+    res.p50_ms = stats.latency_p50_us / 1000.0;
+    res.p95_ms = stats.latency_p95_us / 1000.0;
+    res.p99_ms = stats.latency_p99_us / 1000.0;
+    res.mean_batch = stats.mean_batch_requests;
+    return res;
+}
+
+void
+addRow(Table &table, const std::string &model, int clients,
+       int64_t slots, const LoadResult &r)
+{
+    table.addRow({model, std::to_string(clients),
+                  std::to_string(slots), Table::fmt(r.throughput_rps, 1),
+                  Table::fmt(r.p50_ms, 2), Table::fmt(r.p95_ms, 2),
+                  Table::fmt(r.p99_ms, 2), Table::fmt(r.mean_batch, 2)});
+}
+
+std::string
+makeWordLmCheckpoint()
+{
+    models::WordLmConfig cfg;
+    cfg.vocab = 80;
+    cfg.hidden = 32;
+    cfg.layers = 2;
+    cfg.batch = 4;
+    cfg.seq_len = 8;
+    models::WordLmModel model(cfg);
+    Rng rng(42);
+    const std::string path = "results/serve_bench_word_lm.ckpt";
+    models::saveParams(model.initialParams(rng), path);
+    return path;
+}
+
+std::string
+makeNmtCheckpoint()
+{
+    models::NmtConfig cfg;
+    cfg.src_vocab = 80;
+    cfg.tgt_vocab = 90;
+    cfg.hidden = 32;
+    cfg.enc_layers = 1;
+    cfg.batch = 4;
+    cfg.src_len = 8;
+    cfg.tgt_len = 8;
+    models::NmtModel model(cfg);
+    Rng rng(43);
+    const std::string path = "results/serve_bench_nmt.ckpt";
+    models::saveParams(model.initialParams(rng), path);
+    return path;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::begin("serve_throughput",
+                 "inference-serving throughput and latency percentiles "
+                 "under closed-loop load (dynamic batching on/off)");
+    std::error_code ec;
+    std::filesystem::create_directories("results", ec);
+
+    Table table({"model", "clients", "slots", "req/s", "p50_ms",
+                 "p95_ms", "p99_ms", "mean_batch"});
+
+    serve::SessionConfig batched;
+    batched.slots = 8;
+    batched.buckets = {8};
+    serve::SessionConfig unbatched = batched;
+    unbatched.slots = 1;
+
+    const int kRequests = 40;
+
+    const std::string lm_ckpt = makeWordLmCheckpoint();
+    for (int clients : {1, 4, 16})
+        addRow(table, "word_lm", clients, batched.slots,
+               runLoad(lm_ckpt, batched, clients, kRequests, 0));
+    const LoadResult lm_serial =
+        runLoad(lm_ckpt, unbatched, 16, kRequests, 0);
+    addRow(table, "word_lm", 16, unbatched.slots, lm_serial);
+
+    const std::string nmt_ckpt = makeNmtCheckpoint();
+    for (int clients : {1, 4, 16})
+        addRow(table, "nmt", clients, batched.slots,
+               runLoad(nmt_ckpt, batched, clients, kRequests, 4));
+    const LoadResult nmt_serial =
+        runLoad(nmt_ckpt, unbatched, 16, kRequests, 4);
+    addRow(table, "nmt", 16, unbatched.slots, nmt_serial);
+
+    bench::emit(table, "serve_throughput");
+
+    const LoadResult lm_sat =
+        runLoad(lm_ckpt, batched, 16, kRequests, 0);
+    const LoadResult nmt_sat =
+        runLoad(nmt_ckpt, batched, 16, kRequests, 4);
+    bench::note("saturation batching gain (slots=8 vs slots=1): "
+                "word_lm " +
+                Table::fmt(lm_sat.throughput_rps /
+                               lm_serial.throughput_rps,
+                           2) +
+                "x, nmt " +
+                Table::fmt(nmt_sat.throughput_rps /
+                               nmt_serial.throughput_rps,
+                           2) +
+                "x");
+    return 0;
+}

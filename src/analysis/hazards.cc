@@ -1,5 +1,6 @@
 #include "analysis/hazards.h"
 
+#include <algorithm>
 #include <cstdint>
 #include <unordered_map>
 
@@ -224,6 +225,57 @@ detectParallelHazards(const ParallelTopology &topo)
                            "never freed",
                        {NodeRef::of(topo.schedule[s],
                                     static_cast<int>(s))});
+        }
+    }
+    return report;
+}
+
+AnalysisReport
+detectWorkspaceAliasing(const std::vector<SlotInterval> &journal,
+                        int num_slots)
+{
+    AnalysisReport report;
+    // Group intervals by (pool, slot); overlap within one group means
+    // two requests shared a workspace row while both were live.
+    std::unordered_map<int64_t, std::vector<const SlotInterval *>>
+        by_slot;
+    for (const SlotInterval &iv : journal) {
+        if (iv.slot < 0 || iv.slot >= num_slots) {
+            report.add(Check::kSlotOutOfRange, Severity::kError,
+                       "request " + std::to_string(iv.request_id) +
+                           " mapped to slot " +
+                           std::to_string(iv.slot) +
+                           " outside [0, " +
+                           std::to_string(num_slots) + ")");
+            continue;
+        }
+        const int64_t key =
+            iv.pool * static_cast<int64_t>(num_slots) + iv.slot;
+        by_slot[key].push_back(&iv);
+    }
+    for (auto &[key, ivs] : by_slot) {
+        std::sort(ivs.begin(), ivs.end(),
+                  [](const SlotInterval *a, const SlotInterval *b) {
+                      return a->acquired != b->acquired
+                                 ? a->acquired < b->acquired
+                                 : a->request_id < b->request_id;
+                  });
+        for (size_t i = 1; i < ivs.size(); ++i) {
+            const SlotInterval &prev = *ivs[i - 1];
+            const SlotInterval &cur = *ivs[i];
+            if (cur.acquired < prev.released) {
+                report.add(
+                    Check::kSlotAliasing, Severity::kError,
+                    "requests " + std::to_string(prev.request_id) +
+                        " and " + std::to_string(cur.request_id) +
+                        " both live on pool " +
+                        std::to_string(cur.pool) + " slot " +
+                        std::to_string(cur.slot) + " over batches [" +
+                        std::to_string(cur.acquired) + ", " +
+                        std::to_string(
+                            std::min(prev.released, cur.released)) +
+                        ")");
+            }
         }
     }
     return report;

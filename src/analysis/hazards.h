@@ -50,6 +50,32 @@ ParallelTopology buildTopology(const std::vector<graph::Val> &fetches);
 /** Check @p topo for ready-queue races. */
 AnalysisReport detectParallelHazards(const ParallelTopology &topo);
 
+/**
+ * One workspace-slot occupancy recorded by the serving batcher:
+ * request @p request_id held row @p slot of pool @p pool (one pool per
+ * length bucket) from batch sequence number @p acquired inclusive to
+ * @p released exclusive.  The serving layer's padded-slot determinism
+ * argument requires each live request to own its row exclusively, so
+ * two requests whose intervals overlap on one (pool, slot) is a
+ * correctness bug, not a performance bug.
+ */
+struct SlotInterval
+{
+    int64_t request_id = -1;
+    int64_t pool = 0;
+    int slot = -1;
+    int64_t acquired = 0;
+    int64_t released = 0;
+};
+
+/**
+ * Check a serving workspace journal: every interval's slot must lie in
+ * [0, num_slots), and no two requests may overlap on one (pool, slot).
+ */
+AnalysisReport
+detectWorkspaceAliasing(const std::vector<SlotInterval> &journal,
+                        int num_slots);
+
 } // namespace echo::analysis
 
 #endif // ECHO_ANALYSIS_HAZARDS_H

@@ -81,6 +81,10 @@ checkName(Check check)
         return "workspace-overlap";
       case Check::kFootprintMismatch:
         return "footprint-mismatch";
+      case Check::kSlotAliasing:
+        return "slot-aliasing";
+      case Check::kSlotOutOfRange:
+        return "slot-out-of-range";
     }
     return "?";
 }

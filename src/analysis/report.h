@@ -46,6 +46,9 @@ enum class Check {
     kStaleEdge,          ///< a redirected edge points at a non-equivalent value
     kWorkspaceOverlap,   ///< too many recompute steps live simultaneously
     kFootprintMismatch,  ///< cost-model savings disagree with liveness truth
+    // Serving workspace checker.
+    kSlotAliasing,   ///< two live requests mapped to one workspace slot
+    kSlotOutOfRange, ///< a request mapped outside the slot range
 };
 
 /** Stable kebab-case name of a check (diagnostic codes in output). */

@@ -171,8 +171,8 @@ decoderStep(Graph &g, const NmtConfig &cfg, const DecoderWeights &dw,
 
 } // namespace
 
-/** Encoder + step graphs for greedy decoding. */
-struct NmtModel::DecodeGraphs
+/** Encoder + step graphs for step decoding. */
+struct NmtDecoder::Graphs
 {
     // Encoder graph.
     std::unique_ptr<Graph> enc_g = std::make_unique<Graph>();
@@ -187,6 +187,125 @@ struct NmtModel::DecodeGraphs
     NamedWeights step_weights;
     std::unique_ptr<graph::Executor> step_exec;
 };
+
+NmtDecoder::NmtDecoder(const NmtConfig &config, int64_t batch,
+                       int64_t src_len, graph::ExecMode mode)
+    : config_(config), batch_(batch), src_len_(src_len),
+      graphs_(std::make_unique<Graphs>())
+{
+    ECHO_REQUIRE(batch >= 1 && src_len >= 1,
+                 "NmtDecoder needs batch >= 1 and src_len >= 1");
+    // The decode graphs are built at this decoder's own batch and
+    // source length; only the weight shapes come from the config.
+    NmtConfig cfg = config_;
+    cfg.batch = batch_;
+    cfg.src_len = src_len_;
+    Graphs &d = *graphs_;
+    const int64_t b = batch_, h = cfg.hidden;
+
+    // Encoder graph.
+    {
+        Graph &g = *d.enc_g;
+        d.enc_src = g.placeholder(Shape({b, src_len_}), "src_tokens");
+        const AttentionWeights attn =
+            makeAttentionWeights(g, h, d.enc_weights, "attn");
+        const EncoderOut enc =
+            buildEncoder(g, d.enc_src, cfg, d.enc_weights, attn);
+        d.enc_hs = enc.hs;
+        d.enc_keys = enc.keys;
+        d.enc_exec = std::make_unique<graph::Executor>(
+            std::vector<Val>{enc.hs, enc.keys}, mode);
+    }
+
+    // Step graph.
+    {
+        Graph &g = *d.step_g;
+        d.st_token = g.placeholder(Shape({b}), "prev_token");
+        d.st_h = g.placeholder(Shape({b, h}), "h_prev");
+        d.st_c = g.placeholder(Shape({b, h}), "c_prev");
+        d.st_attn = g.placeholder(Shape({b, h}), "attn_prev");
+        d.st_hs = g.placeholder(Shape({b, src_len_, h}),
+                                "encoder_states");
+        d.st_keys = g.placeholder(Shape({b, src_len_, h}),
+                                  "attn_keys");
+
+        const AttentionWeights attn =
+            makeAttentionWeights(g, h, d.step_weights, "attn");
+        const DecoderWeights dec =
+            makeDecoderWeights(g, cfg, d.step_weights);
+
+        Val emb_t;
+        {
+            TagScope tag(g, "embedding");
+            emb_t = g.apply1(ol::embedding(),
+                             {dec.tgt_table, d.st_token});
+        }
+        rnn::CellState prev{d.st_h, d.st_c};
+        const StepOut so = decoderStep(g, cfg, dec, attn, emb_t, prev,
+                                       d.st_attn, d.st_keys, d.st_hs);
+        {
+            TagScope tag(g, "output");
+            d.st_logits = g.apply1(
+                ol::addBias(),
+                {g.apply1(ol::gemm(false, true),
+                          {so.attn_hidden, dec.out_w}),
+                 dec.out_b});
+        }
+        d.st_h_out = so.state.h;
+        d.st_c_out = so.state.c;
+        d.st_attn_out = so.attn_hidden;
+        d.step_exec = std::make_unique<graph::Executor>(
+            std::vector<Val>{d.st_logits, d.st_h_out, d.st_c_out,
+                             d.st_attn_out},
+            mode);
+    }
+}
+
+NmtDecoder::~NmtDecoder() = default;
+
+NmtDecoder::Encoded
+NmtDecoder::encode(const ParamStore &params, const Tensor &src) const
+{
+    ECHO_REQUIRE(src.shape() == Shape({batch_, src_len_}),
+                 "NmtDecoder::encode source batch has wrong shape");
+    graph::FeedDict feed;
+    feedParams(feed, graphs_->enc_weights, params);
+    feed[graphs_->enc_src.node] = src;
+    std::vector<Tensor> out = graphs_->enc_exec->run(feed);
+    return Encoded{std::move(out[0]), std::move(out[1])};
+}
+
+NmtDecoder::State
+NmtDecoder::initialState() const
+{
+    State s;
+    s.token = Tensor(Shape({batch_}),
+                     static_cast<float>(data::Vocab::kBos));
+    s.h = Tensor::zeros(Shape({batch_, config_.hidden}));
+    s.c = Tensor::zeros(Shape({batch_, config_.hidden}));
+    s.attn = Tensor::zeros(Shape({batch_, config_.hidden}));
+    return s;
+}
+
+Tensor
+NmtDecoder::step(const ParamStore &params, State &state,
+                 const Encoded &enc) const
+{
+    const Graphs &d = *graphs_;
+    graph::FeedDict feed;
+    feedParams(feed, d.step_weights, params);
+    feed[d.st_token.node] = state.token;
+    feed[d.st_h.node] = state.h;
+    feed[d.st_c.node] = state.c;
+    feed[d.st_attn.node] = state.attn;
+    feed[d.st_hs.node] = enc.hs;
+    feed[d.st_keys.node] = enc.keys;
+    std::vector<Tensor> out = d.step_exec->run(feed);
+    state.h = std::move(out[1]);
+    state.c = std::move(out[2]);
+    state.attn = std::move(out[3]);
+    return std::move(out[0]);
+}
 
 NmtModel::NmtModel(const NmtConfig &config)
     : config_(config), graph_(std::make_unique<Graph>())
@@ -293,118 +412,28 @@ NmtModel::makeFeed(const ParamStore &params,
     return feed;
 }
 
-NmtModel::DecodeGraphs &
-NmtModel::decodeGraphs() const
-{
-    if (decode_)
-        return *decode_;
-    decode_ = std::make_unique<DecodeGraphs>();
-    DecodeGraphs &d = *decode_;
-    const int64_t b = config_.batch, h = config_.hidden;
-
-    // Encoder graph.
-    {
-        Graph &g = *d.enc_g;
-        d.enc_src = g.placeholder(Shape({b, config_.src_len}),
-                                  "src_tokens");
-        const AttentionWeights attn =
-            makeAttentionWeights(g, h, d.enc_weights, "attn");
-        const EncoderOut enc =
-            buildEncoder(g, d.enc_src, config_, d.enc_weights, attn);
-        d.enc_hs = enc.hs;
-        d.enc_keys = enc.keys;
-        d.enc_exec = std::make_unique<graph::Executor>(
-            std::vector<Val>{enc.hs, enc.keys});
-    }
-
-    // Step graph.
-    {
-        Graph &g = *d.step_g;
-        d.st_token = g.placeholder(Shape({b}), "prev_token");
-        d.st_h = g.placeholder(Shape({b, h}), "h_prev");
-        d.st_c = g.placeholder(Shape({b, h}), "c_prev");
-        d.st_attn = g.placeholder(Shape({b, h}), "attn_prev");
-        d.st_hs = g.placeholder(Shape({b, config_.src_len, h}),
-                                "encoder_states");
-        d.st_keys = g.placeholder(Shape({b, config_.src_len, h}),
-                                  "attn_keys");
-
-        const AttentionWeights attn =
-            makeAttentionWeights(g, h, d.step_weights, "attn");
-        const DecoderWeights dec =
-            makeDecoderWeights(g, config_, d.step_weights);
-
-        Val emb_t;
-        {
-            TagScope tag(g, "embedding");
-            emb_t = g.apply1(ol::embedding(),
-                             {dec.tgt_table, d.st_token});
-        }
-        rnn::CellState prev{d.st_h, d.st_c};
-        const StepOut so =
-            decoderStep(g, config_, dec, attn, emb_t, prev,
-                        d.st_attn, d.st_keys, d.st_hs);
-        {
-            TagScope tag(g, "output");
-            d.st_logits = g.apply1(
-                ol::addBias(),
-                {g.apply1(ol::gemm(false, true),
-                          {so.attn_hidden, dec.out_w}),
-                 dec.out_b});
-        }
-        d.st_h_out = so.state.h;
-        d.st_c_out = so.state.c;
-        d.st_attn_out = so.attn_hidden;
-        d.step_exec = std::make_unique<graph::Executor>(
-            std::vector<Val>{d.st_logits, d.st_h_out, d.st_c_out,
-                             d.st_attn_out});
-    }
-    return d;
-}
-
 std::vector<std::vector<int64_t>>
 NmtModel::greedyDecode(const ParamStore &params, const Tensor &src,
                        int64_t max_len) const
 {
-    const DecodeGraphs &d = decodeGraphs();
-    const int64_t b = config_.batch, h = config_.hidden;
+    if (!decode_)
+        decode_ = std::make_unique<NmtDecoder>(config_, config_.batch,
+                                               config_.src_len);
+    const NmtDecoder &dec = *decode_;
+    const int64_t b = config_.batch;
     ECHO_REQUIRE(src.shape() == Shape({b, config_.src_len}),
                  "greedyDecode source batch has wrong shape");
 
-    // Run the encoder once.
-    graph::FeedDict enc_feed;
-    feedParams(enc_feed, d.enc_weights, params);
-    enc_feed[d.enc_src.node] = src;
-    const std::vector<Tensor> enc_out = d.enc_exec->run(enc_feed);
-    const Tensor &hs = enc_out[0];
-    const Tensor &keys = enc_out[1];
+    const NmtDecoder::Encoded enc = dec.encode(params, src);
 
-    // Free-running greedy loop.
-    Tensor token(Shape({b}), static_cast<float>(data::Vocab::kBos));
-    Tensor hcur = Tensor::zeros(Shape({b, h}));
-    Tensor ccur = Tensor::zeros(Shape({b, h}));
-    Tensor acur = Tensor::zeros(Shape({b, h}));
-
+    // Free-running greedy loop over the cached decoder state.
+    NmtDecoder::State state = dec.initialState();
     std::vector<std::vector<int64_t>> decoded(
         static_cast<size_t>(b));
     std::vector<bool> done(static_cast<size_t>(b), false);
 
     for (int64_t step = 0; step < max_len; ++step) {
-        graph::FeedDict feed;
-        feedParams(feed, d.step_weights, params);
-        feed[d.st_token.node] = token;
-        feed[d.st_h.node] = hcur;
-        feed[d.st_c.node] = ccur;
-        feed[d.st_attn.node] = acur;
-        feed[d.st_hs.node] = hs;
-        feed[d.st_keys.node] = keys;
-        const std::vector<Tensor> out = d.step_exec->run(feed);
-        const Tensor &logits = out[0];
-        hcur = out[1];
-        ccur = out[2];
-        acur = out[3];
-
-        Tensor next(Shape({b}));
+        const Tensor logits = dec.step(params, state, enc);
         bool all_done = true;
         for (int64_t r = 0; r < b; ++r) {
             int64_t best = 0;
@@ -415,7 +444,7 @@ NmtModel::greedyDecode(const ParamStore &params, const Tensor &src,
                     best = j;
                 }
             }
-            next.at(r) = static_cast<float>(best);
+            state.token.at(r) = static_cast<float>(best);
             if (!done[static_cast<size_t>(r)]) {
                 if (best == data::Vocab::kEos) {
                     done[static_cast<size_t>(r)] = true;
@@ -425,7 +454,6 @@ NmtModel::greedyDecode(const ParamStore &params, const Tensor &src,
             }
             all_done = all_done && done[static_cast<size_t>(r)];
         }
-        token = next;
         if (all_done)
             break;
     }

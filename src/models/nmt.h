@@ -8,9 +8,10 @@
  * Three graphs share one set of named parameters:
  *  - the training graph (teacher-forced, loss + weight gradients),
  *  - an encoder graph (source -> encoder states + attention keys),
- *  - a step-decoder graph (one greedy decoding step),
- * the latter two powering free-running greedy decoding for BLEU
- * evaluation (Fig. 12b).
+ *  - a step-decoder graph (one decoding step),
+ * the latter two packaged as NmtDecoder, which powers free-running
+ * greedy decoding for BLEU evaluation (Fig. 12b) and the serving
+ * layer's batched greedy / beam-search decoding (src/serve).
  */
 #ifndef ECHO_MODELS_NMT_H
 #define ECHO_MODELS_NMT_H
@@ -42,6 +43,73 @@ struct NmtConfig
     /** Normalized (Sockeye-style) attention scoring; false gives the
      *  TensorFlow-NMT-style plain Bahdanau composite (§6.2.2). */
     bool normalized_attention = true;
+};
+
+/**
+ * Encoder + one-step-decoder graphs over the NMT weights, built once
+ * at an arbitrary (batch, src_len) and run repeatedly.
+ *
+ * This is the state-cached step-decoding engine: encode() runs the
+ * encoder once per source batch; step() advances every batch row by
+ * one target token, consuming and producing explicit decoder state.
+ * All ops are row-wise along the batch axis, so a row's outputs are a
+ * pure function of that row's inputs — the serving layer's
+ * batch-composition determinism contract rests on this.
+ *
+ * The (batch, src_len) of the graphs is independent of the training
+ * configuration's: the serving layer builds one decoder per length
+ * bucket with its own slot count.
+ */
+class NmtDecoder
+{
+  public:
+    NmtDecoder(const NmtConfig &config, int64_t batch, int64_t src_len,
+               graph::ExecMode mode = graph::ExecMode::kAuto);
+    ~NmtDecoder();
+
+    NmtDecoder(const NmtDecoder &) = delete;
+    NmtDecoder &operator=(const NmtDecoder &) = delete;
+
+    int64_t batch() const { return batch_; }
+    int64_t srcLen() const { return src_len_; }
+    const NmtConfig &config() const { return config_; }
+
+    /** Encoder outputs for one source batch. */
+    struct Encoded
+    {
+        Tensor hs;   ///< [B x Ts x H]
+        Tensor keys; ///< [B x Ts x H]
+    };
+
+    /** Run the encoder over @p src ([B x Ts], kPad padded). */
+    Encoded encode(const ParamStore &params, const Tensor &src) const;
+
+    /** Decoder state carried across steps (one row per batch slot). */
+    struct State
+    {
+        Tensor token; ///< [B] previous target token
+        Tensor h;     ///< [B x H]
+        Tensor c;     ///< [B x H]
+        Tensor attn;  ///< [B x H] previous attention hidden
+    };
+
+    /** Fresh state: BOS tokens, zero h/c/attn. */
+    State initialState() const;
+
+    /**
+     * One decode step: consumes @p state (including state.token, the
+     * previously emitted token per row) and replaces it with the new
+     * state.  Returns the target-vocab logits [B x V].
+     */
+    Tensor step(const ParamStore &params, State &state,
+                const Encoded &enc) const;
+
+  private:
+    struct Graphs;
+    NmtConfig config_;
+    int64_t batch_;
+    int64_t src_len_;
+    std::unique_ptr<Graphs> graphs_;
 };
 
 /** The NMT training graph plus its decoding graphs. */
@@ -76,17 +144,13 @@ class NmtModel
                  int64_t max_len) const;
 
   private:
-    struct DecodeGraphs; // encoder + step graphs (built lazily)
-
     NmtConfig config_;
     std::unique_ptr<graph::Graph> graph_;
     graph::Val src_, tgt_in_, tgt_labels_, loss_;
     NamedWeights weights_;
     std::vector<graph::Val> weight_grads_;
     std::vector<graph::Val> fetches_;
-    mutable std::unique_ptr<DecodeGraphs> decode_;
-
-    DecodeGraphs &decodeGraphs() const;
+    mutable std::unique_ptr<NmtDecoder> decode_; // built lazily
 };
 
 } // namespace echo::models

@@ -1,5 +1,6 @@
 #include "models/serialize.h"
 
+#include <algorithm>
 #include <cstdint>
 #include <fstream>
 
@@ -9,7 +10,10 @@ namespace echo::models {
 
 namespace {
 
-constexpr char kMagic[8] = {'E', 'C', 'H', 'O', '0', '0', '0', '1'};
+/** Legacy magic: headerless body follows immediately. */
+constexpr char kLegacyMagic[8] = {'E', 'C', 'H', 'O', '0', '0', '0', '1'};
+/** Current magic: u32 version + u32 reserved follow, then the body. */
+constexpr char kMagic[8] = {'E', 'C', 'H', 'O', 'C', 'K', 'P', 'T'};
 
 void
 writeU64(std::ostream &os, uint64_t v)
@@ -25,6 +29,57 @@ readU64(std::istream &is)
     return v;
 }
 
+void
+writeU32(std::ostream &os, uint32_t v)
+{
+    os.write(reinterpret_cast<const char *>(&v), sizeof(v));
+}
+
+uint32_t
+readU32(std::istream &is)
+{
+    uint32_t v = 0;
+    is.read(reinterpret_cast<char *>(&v), sizeof(v));
+    return v;
+}
+
+/** Read the tensor entries shared by both format versions. */
+ParamStore
+readBody(std::istream &is, const std::string &path)
+{
+    ParamStore params;
+    const uint64_t count = readU64(is);
+    ECHO_REQUIRE(is.good(), path,
+                 ": corrupt checkpoint: truncated header");
+    for (uint64_t i = 0; i < count; ++i) {
+        const uint64_t name_len = readU64(is);
+        ECHO_REQUIRE(is.good() && name_len < (1u << 20),
+                     path, ": corrupt checkpoint: bad name length");
+        std::string name(name_len, '\0');
+        is.read(name.data(), static_cast<std::streamsize>(name_len));
+
+        const uint64_t ndim = readU64(is);
+        ECHO_REQUIRE(is.good() && ndim <= 8,
+                     path, ": corrupt checkpoint: bad rank");
+        std::vector<int64_t> dims(ndim);
+        for (uint64_t d = 0; d < ndim; ++d) {
+            is.read(reinterpret_cast<char *>(&dims[d]),
+                    sizeof(int64_t));
+            ECHO_REQUIRE(is.good() && dims[d] >= 0 &&
+                             dims[d] < (1ll << 32),
+                         path, ": corrupt checkpoint: bad extent");
+        }
+        Tensor t{Shape(dims)};
+        is.read(reinterpret_cast<char *>(t.data()),
+                static_cast<std::streamsize>(t.numel() *
+                                             sizeof(float)));
+        ECHO_REQUIRE(is.good(),
+                     path, ": corrupt checkpoint: truncated data");
+        params.emplace(std::move(name), std::move(t));
+    }
+    return params;
+}
+
 } // namespace
 
 void
@@ -34,6 +89,8 @@ saveParams(const ParamStore &params, const std::string &path)
     ECHO_REQUIRE(os.good(), "cannot open ", path, " for writing");
 
     os.write(kMagic, sizeof(kMagic));
+    writeU32(os, kCheckpointVersion);
+    writeU32(os, 0); // reserved
     writeU64(os, params.size());
     for (const auto &[name, tensor] : params) {
         writeU64(os, name.size());
@@ -60,39 +117,21 @@ loadParams(const std::string &path)
 
     char magic[8];
     is.read(magic, sizeof(magic));
-    ECHO_REQUIRE(is.good() &&
-                     std::equal(std::begin(magic), std::end(magic),
-                                std::begin(kMagic)),
+    ECHO_REQUIRE(is.good(), path, " is not an ECHO checkpoint");
+
+    if (std::equal(std::begin(magic), std::end(magic),
+                   std::begin(kLegacyMagic)))
+        return readBody(is, path); // headerless v1
+
+    ECHO_REQUIRE(std::equal(std::begin(magic), std::end(magic),
+                            std::begin(kMagic)),
                  path, " is not an ECHO checkpoint");
-
-    ParamStore params;
-    const uint64_t count = readU64(is);
-    for (uint64_t i = 0; i < count; ++i) {
-        const uint64_t name_len = readU64(is);
-        ECHO_REQUIRE(is.good() && name_len < (1u << 20),
-                     "corrupt checkpoint: bad name length");
-        std::string name(name_len, '\0');
-        is.read(name.data(), static_cast<std::streamsize>(name_len));
-
-        const uint64_t ndim = readU64(is);
-        ECHO_REQUIRE(is.good() && ndim <= 8,
-                     "corrupt checkpoint: bad rank");
-        std::vector<int64_t> dims(ndim);
-        for (uint64_t d = 0; d < ndim; ++d) {
-            is.read(reinterpret_cast<char *>(&dims[d]),
-                    sizeof(int64_t));
-            ECHO_REQUIRE(is.good() && dims[d] >= 0 &&
-                             dims[d] < (1ll << 32),
-                         "corrupt checkpoint: bad extent");
-        }
-        Tensor t{Shape(dims)};
-        is.read(reinterpret_cast<char *>(t.data()),
-                static_cast<std::streamsize>(t.numel() *
-                                             sizeof(float)));
-        ECHO_REQUIRE(is.good(), "corrupt checkpoint: truncated data");
-        params.emplace(std::move(name), std::move(t));
-    }
-    return params;
+    const uint32_t version = readU32(is);
+    const uint32_t reserved = readU32(is);
+    ECHO_REQUIRE(is.good() && version == kCheckpointVersion &&
+                     reserved == 0,
+                 path, ": unsupported checkpoint version ", version);
+    return readBody(is, path);
 }
 
 } // namespace echo::models

@@ -3,6 +3,7 @@
 #include "core/logging.h"
 #include "graph/autodiff.h"
 #include "graph/ops/oplib.h"
+#include "rnn/lstm_cell.h"
 
 namespace echo::models {
 
@@ -101,6 +102,121 @@ WordLmModel::makeFeed(const ParamStore &params,
     feed[tokens_.node] = batch.tokens;
     feed[labels_.node] = batch.labels;
     return feed;
+}
+
+/** The one-step graph: token + per-layer (h, c) -> logits + states. */
+struct WordLmStepper::Graphs
+{
+    std::unique_ptr<Graph> g = std::make_unique<Graph>();
+    Val token;
+    std::vector<Val> h_in, c_in;   // per layer
+    std::vector<Val> h_out, c_out; // per layer
+    Val logits;
+    NamedWeights weights;
+    std::unique_ptr<graph::Executor> exec;
+};
+
+WordLmStepper::WordLmStepper(const WordLmConfig &config, int64_t batch,
+                             graph::ExecMode mode)
+    : config_(config), batch_(batch),
+      graphs_(std::make_unique<Graphs>())
+{
+    ECHO_REQUIRE(batch >= 1, "WordLmStepper needs batch >= 1");
+    Graphs &d = *graphs_;
+    Graph &g = *d.g;
+    const int64_t b = batch_, h = config.hidden, v = config.vocab;
+
+    d.token = g.placeholder(Shape({b}), "token");
+    for (int64_t l = 0; l < config.layers; ++l) {
+        d.h_in.push_back(g.placeholder(
+            Shape({b, h}), "h_prev.l" + std::to_string(l)));
+        d.c_in.push_back(g.placeholder(
+            Shape({b, h}), "c_prev.l" + std::to_string(l)));
+    }
+
+    Val x;
+    {
+        TagScope tag(g, "embedding");
+        const Val table = g.weight(Shape({v, h}), "embedding.table");
+        d.weights.emplace_back("embedding.table", table);
+        x = g.apply1(ol::embedding(), {table, d.token});
+    }
+    {
+        TagScope tag(g, "rnn");
+        for (int64_t l = 0; l < config.layers; ++l) {
+            // Same weight names the training stack registers, so the
+            // training checkpoint feeds the step graph unchanged.
+            const std::string prefix = "lstm.l" + std::to_string(l);
+            const rnn::LstmWeights w =
+                rnn::makeLstmWeights(g, h, h, prefix);
+            d.weights.emplace_back(prefix + ".wx", w.wx);
+            d.weights.emplace_back(prefix + ".wh", w.wh);
+            d.weights.emplace_back(prefix + ".bias", w.bias);
+            const rnn::CellState prev{d.h_in[static_cast<size_t>(l)],
+                                      d.c_in[static_cast<size_t>(l)]};
+            const rnn::CellState next =
+                rnn::buildLstmCell(g, x, prev, w);
+            d.h_out.push_back(next.h);
+            d.c_out.push_back(next.c);
+            x = next.h;
+        }
+    }
+    {
+        TagScope tag(g, "output");
+        const Val w_out = g.weight(Shape({v, h}), "output.weight");
+        const Val b_out = g.weight(Shape({v}), "output.bias");
+        d.weights.emplace_back("output.weight", w_out);
+        d.weights.emplace_back("output.bias", b_out);
+        d.logits = g.apply1(
+            ol::addBias(),
+            {g.apply1(ol::gemm(false, true), {x, w_out}), b_out});
+    }
+
+    std::vector<Val> fetches{d.logits};
+    fetches.insert(fetches.end(), d.h_out.begin(), d.h_out.end());
+    fetches.insert(fetches.end(), d.c_out.begin(), d.c_out.end());
+    d.exec = std::make_unique<graph::Executor>(std::move(fetches),
+                                               mode);
+}
+
+WordLmStepper::~WordLmStepper() = default;
+
+WordLmStepper::State
+WordLmStepper::initialState() const
+{
+    State s;
+    for (int64_t l = 0; l < config_.layers; ++l) {
+        s.h.push_back(
+            Tensor::zeros(Shape({batch_, config_.hidden})));
+        s.c.push_back(
+            Tensor::zeros(Shape({batch_, config_.hidden})));
+    }
+    return s;
+}
+
+Tensor
+WordLmStepper::step(const ParamStore &params, const Tensor &token,
+                    State &state) const
+{
+    const Graphs &d = *graphs_;
+    const auto layers = static_cast<size_t>(config_.layers);
+    ECHO_REQUIRE(token.shape() == Shape({batch_}) &&
+                     state.h.size() == layers &&
+                     state.c.size() == layers,
+                 "WordLmStepper::step got mismatched token/state");
+    graph::FeedDict feed;
+    feedParams(feed, d.weights, params);
+    feed[d.token.node] = token;
+    for (size_t l = 0; l < layers; ++l) {
+        feed[d.h_in[l].node] = state.h[l];
+        feed[d.c_in[l].node] = state.c[l];
+    }
+    std::vector<Tensor> out = d.exec->run(feed);
+    for (size_t l = 0; l < layers; ++l) {
+        state.h[l] = std::move(out[1 + l]);
+        state.c[l] = std::move(out[1 + layers + l]);
+    }
+    return std::move(out[0]);
 }
 
 } // namespace echo::models

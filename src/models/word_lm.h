@@ -59,6 +59,55 @@ class WordLmModel
     std::vector<graph::Val> fetches_;
 };
 
+/**
+ * One-token step decoder over the word LM's weights: embedding -> one
+ * LSTM cell per layer -> logits, with the per-layer (h, c) state
+ * carried explicitly by the caller.
+ *
+ * The step graph is built once per (config, batch) and reuses the
+ * training model's weight names, so a checkpoint saved from training
+ * feeds it directly.  Every op is row-wise along the batch axis, so a
+ * row's logits and state depend only on that row's token history —
+ * the serving layer's batch-composition determinism contract.
+ */
+class WordLmStepper
+{
+  public:
+    WordLmStepper(const WordLmConfig &config, int64_t batch,
+                  graph::ExecMode mode = graph::ExecMode::kAuto);
+    ~WordLmStepper();
+
+    WordLmStepper(const WordLmStepper &) = delete;
+    WordLmStepper &operator=(const WordLmStepper &) = delete;
+
+    int64_t batch() const { return batch_; }
+    const WordLmConfig &config() const { return config_; }
+
+    /** Per-layer hidden and cell states, each [B x H]. */
+    struct State
+    {
+        std::vector<Tensor> h;
+        std::vector<Tensor> c;
+    };
+
+    /** All-zero initial state. */
+    State initialState() const;
+
+    /**
+     * Advance every row by one token ([B], float-encoded ids) and
+     * return the next-token logits [B x V].  @p state is replaced
+     * with the post-step state.
+     */
+    Tensor step(const ParamStore &params, const Tensor &token,
+                State &state) const;
+
+  private:
+    struct Graphs;
+    WordLmConfig config_;
+    int64_t batch_;
+    std::unique_ptr<Graphs> graphs_;
+};
+
 } // namespace echo::models
 
 #endif // ECHO_MODELS_WORD_LM_H

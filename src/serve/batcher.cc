@@ -1,0 +1,106 @@
+#include "serve/batcher.h"
+
+#include <algorithm>
+
+#include "core/logging.h"
+#include "obs/counters.h"
+
+namespace echo::serve {
+
+int64_t
+bucketForLength(const std::vector<int64_t> &buckets, int64_t len)
+{
+    for (int64_t b : buckets)
+        if (len <= b)
+            return b;
+    return -1;
+}
+
+DynamicBatcher::DynamicBatcher(BatcherConfig config, RequestQueue &queue)
+    : config_(std::move(config)), queue_(queue)
+{
+    ECHO_REQUIRE(config_.max_batch >= 1,
+                 "batcher needs at least one slot");
+    ECHO_REQUIRE(!config_.buckets.empty(), "batcher needs length buckets");
+    ECHO_REQUIRE(
+        std::is_sorted(config_.buckets.begin(), config_.buckets.end()),
+        "length buckets must be ascending");
+}
+
+void
+DynamicBatcher::drainQueue()
+{
+    Request r;
+    while (queue_.tryPop(r))
+        pending_.push_back(std::move(r));
+}
+
+bool
+DynamicBatcher::next(MicroBatch &out)
+{
+    static obs::Counter &batches = obs::counter(
+        "serve.batcher.batches", obs::CounterKind::kScheduling);
+    static obs::Counter &deadline_hits = obs::counter(
+        "serve.batcher.deadline_batches", obs::CounterKind::kScheduling);
+
+    out.requests.clear();
+    out.bucket_len = 0;
+
+    // Need at least one request; the oldest pending one anchors the
+    // batch and owns the wait deadline.
+    if (pending_.empty()) {
+        Request r;
+        if (!queue_.pop(r))
+            return false; // closed and drained
+        pending_.push_back(std::move(r));
+    }
+
+    const Request &anchor = pending_.front();
+    const int64_t bucket = bucketForLength(
+        config_.buckets, static_cast<int64_t>(anchor.tokens.size()));
+    ECHO_CHECK(bucket > 0, "admitted request fits no bucket");
+    const auto deadline = anchor.enqueued_at + config_.max_wait;
+
+    bool deadline_expired = false;
+    for (;;) {
+        drainQueue();
+        int64_t in_bucket = 0;
+        for (const Request &r : pending_)
+            if (bucketForLength(config_.buckets,
+                                static_cast<int64_t>(r.tokens.size())) ==
+                bucket)
+                ++in_bucket;
+        if (in_bucket >= config_.max_batch)
+            break; // full batch
+        const auto now = std::chrono::steady_clock::now();
+        if (now >= deadline || queue_.closed()) {
+            deadline_expired = now >= deadline;
+            break;
+        }
+        queue_.waitNonEmpty(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                deadline - now));
+    }
+
+    // Take up to max_batch same-bucket requests in FIFO order.
+    out.bucket_len = bucket;
+    for (auto it = pending_.begin();
+         it != pending_.end() &&
+         static_cast<int64_t>(out.requests.size()) < config_.max_batch;) {
+        if (bucketForLength(config_.buckets,
+                            static_cast<int64_t>(it->tokens.size())) ==
+            bucket) {
+            out.requests.push_back(std::move(*it));
+            it = pending_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    batches.add(1);
+    if (deadline_expired &&
+        static_cast<int64_t>(out.requests.size()) < config_.max_batch)
+        deadline_hits.add(1);
+    return true;
+}
+
+} // namespace echo::serve

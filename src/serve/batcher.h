@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Dynamic batching: group queued requests into fixed-shape micro-batches.
+ *
+ * Step-decoder graphs are built once per (slot count, length bucket)
+ * and reused, so a micro-batch must have a FIXED shape: every request
+ * in it is padded to the same bucket length, and unused slots stay
+ * padded.  The batcher's job is to trade latency for occupancy under
+ * that constraint: it holds the oldest pending request at most
+ * max_wait past its admission, collecting later arrivals that fall in
+ * the same length bucket, and emits early the moment the batch fills.
+ *
+ * Determinism note: a request's bucket is a pure function of its own
+ * length, and decoding is row-wise, so WHICH requests share a
+ * micro-batch affects only latency, never payloads.  The batcher is
+ * therefore free to group opportunistically.
+ */
+#ifndef ECHO_SERVE_BATCHER_H
+#define ECHO_SERVE_BATCHER_H
+
+#include <chrono>
+#include <deque>
+#include <vector>
+
+#include "serve/queue.h"
+#include "serve/request.h"
+
+namespace echo::serve {
+
+/** Batching policy. */
+struct BatcherConfig
+{
+    /** Slots per micro-batch (the step graphs' batch dimension). */
+    int64_t max_batch = 8;
+
+    /** How long the oldest pending request may wait for companions. */
+    std::chrono::microseconds max_wait{2000};
+
+    /** Ascending padded lengths; requests longer than the largest
+     *  bucket are rejected at admission. */
+    std::vector<int64_t> buckets = {8, 16, 32};
+};
+
+/**
+ * Smallest bucket holding @p len, or -1 when none does.
+ * @pre buckets ascending, len >= 1
+ */
+int64_t bucketForLength(const std::vector<int64_t> &buckets, int64_t len);
+
+/** One fixed-shape unit of decoding work. */
+struct MicroBatch
+{
+    int64_t bucket_len = 0;
+    std::vector<Request> requests; ///< <= max_batch, same bucket
+};
+
+/**
+ * Pulls requests off a RequestQueue and forms micro-batches.  Single
+ * consumer: exactly one thread (the server worker) calls next().
+ */
+class DynamicBatcher
+{
+  public:
+    DynamicBatcher(BatcherConfig config, RequestQueue &queue);
+
+    /**
+     * Block until a micro-batch is ready (full batch, or the oldest
+     * pending request's deadline expired, or the queue closed with
+     * work pending).  False only at shutdown with nothing left.
+     */
+    bool next(MicroBatch &out);
+
+    /** Requests popped from the queue but not yet batched. */
+    size_t pendingCount() const { return pending_.size(); }
+
+  private:
+    void drainQueue();
+
+    BatcherConfig config_;
+    RequestQueue &queue_;
+    std::deque<Request> pending_;
+};
+
+} // namespace echo::serve
+
+#endif // ECHO_SERVE_BATCHER_H

@@ -1,0 +1,116 @@
+#include "serve/queue.h"
+
+#include "obs/counters.h"
+#include "obs/trace.h"
+
+namespace echo::serve {
+
+const char *
+rejectReasonName(RejectReason reason)
+{
+    switch (reason) {
+      case RejectReason::kNone:
+        return "none";
+      case RejectReason::kQueueFull:
+        return "queue-full";
+      case RejectReason::kTooLong:
+        return "too-long";
+      case RejectReason::kEmpty:
+        return "empty";
+      case RejectReason::kShutdown:
+        return "shutdown";
+    }
+    return "?";
+}
+
+RequestQueue::RequestQueue(size_t capacity) : capacity_(capacity) {}
+
+size_t
+RequestQueue::size() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+}
+
+RejectReason
+RequestQueue::tryPush(Request r)
+{
+    // Admission outcome depends on queue timing, so the counters are
+    // scheduling-class.
+    static obs::Counter &pushed =
+        obs::counter("serve.queue.pushed", obs::CounterKind::kScheduling);
+    static obs::Counter &full = obs::counter(
+        "serve.queue.reject_full", obs::CounterKind::kScheduling);
+    static obs::Counter &shut = obs::counter(
+        "serve.queue.reject_shutdown", obs::CounterKind::kScheduling);
+
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (closed_) {
+            shut.add(1);
+            return RejectReason::kShutdown;
+        }
+        if (items_.size() >= capacity_) {
+            full.add(1);
+            return RejectReason::kQueueFull;
+        }
+        items_.push_back(std::move(r));
+        if (obs::traceEnabled())
+            obs::counterSample("serve", "serve.queue.depth",
+                               static_cast<int64_t>(items_.size()));
+    }
+    pushed.add(1);
+    cv_.notify_one();
+    return RejectReason::kNone;
+}
+
+bool
+RequestQueue::pop(Request &out)
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty())
+        return false; // closed and drained
+    out = std::move(items_.front());
+    items_.pop_front();
+    return true;
+}
+
+bool
+RequestQueue::tryPop(Request &out)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (items_.empty())
+        return false;
+    out = std::move(items_.front());
+    items_.pop_front();
+    return true;
+}
+
+bool
+RequestQueue::waitNonEmpty(std::chrono::microseconds timeout)
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait_for(lock, timeout,
+                 [&] { return closed_ || !items_.empty(); });
+    return !items_.empty();
+}
+
+void
+RequestQueue::close()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        closed_ = true;
+    }
+    cv_.notify_all();
+}
+
+bool
+RequestQueue::closed() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+}
+
+} // namespace echo::serve

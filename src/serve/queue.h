@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Bounded MPMC request queue with admission control.
+ *
+ * Producers (client threads calling Server::submit) tryPush and are
+ * told synchronously when the queue is full — backpressure is a
+ * reject-with-reason, never a blocking producer.  The consumer (the
+ * batcher) pops blockingly and can wait with a deadline so batch
+ * deadlines do not turn into busy polling.
+ *
+ * close() makes every subsequent tryPush fail with kShutdown and wakes
+ * all waiting consumers; pop() keeps draining what was admitted before
+ * the close, so no accepted request is ever dropped.
+ */
+#ifndef ECHO_SERVE_QUEUE_H
+#define ECHO_SERVE_QUEUE_H
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+
+#include "serve/request.h"
+
+namespace echo::serve {
+
+/** Bounded FIFO of admitted requests; see the file comment. */
+class RequestQueue
+{
+  public:
+    explicit RequestQueue(size_t capacity);
+
+    size_t capacity() const { return capacity_; }
+
+    /** Current depth (racy snapshot; for tests and counters). */
+    size_t size() const;
+
+    /**
+     * Admit @p r or refuse immediately: kQueueFull at capacity,
+     * kShutdown after close().  Never blocks.
+     */
+    RejectReason tryPush(Request r);
+
+    /**
+     * Pop the oldest request, blocking while the queue is open and
+     * empty.  Returns false only when the queue is closed AND fully
+     * drained.
+     */
+    bool pop(Request &out);
+
+    /** Pop without blocking; false when empty. */
+    bool tryPop(Request &out);
+
+    /**
+     * Block until the queue is non-empty, closed, or @p timeout
+     * elapsed.  True when an item is available.
+     */
+    bool waitNonEmpty(std::chrono::microseconds timeout);
+
+    /** Stop admitting; wake every waiter.  Idempotent. */
+    void close();
+
+    bool closed() const;
+
+  private:
+    const size_t capacity_;
+    mutable std::mutex mu_;
+    std::condition_variable cv_;
+    std::deque<Request> items_;
+    bool closed_ = false;
+};
+
+} // namespace echo::serve
+
+#endif // ECHO_SERVE_QUEUE_H

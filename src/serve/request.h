@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Request/response vocabulary of the inference-serving subsystem.
+ *
+ * A Request is one user-visible unit of work: an NMT source sentence
+ * to translate (greedy or beam), or a word-LM prefix to score.  The
+ * server assigns ids and timestamps at admission; everything after
+ * that — batching, decoding, response delivery — is keyed on the id.
+ *
+ * The determinism contract: a request's Response payload (tokens and
+ * scores) is a pure function of the request and the model parameters —
+ * byte-identical regardless of which other requests shared its
+ * micro-batch, which length bucket padding it rode in, and how many
+ * threads executed the graph.  Latency fields are diagnostics and are
+ * exempt.
+ */
+#ifndef ECHO_SERVE_REQUEST_H
+#define ECHO_SERVE_REQUEST_H
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+namespace echo::serve {
+
+/** Why the server refused (or failed) a request. */
+enum class RejectReason
+{
+    kNone,      ///< not rejected
+    kQueueFull, ///< admission control: the bounded queue was full
+    kTooLong,   ///< longer than the largest configured length bucket
+    kEmpty,     ///< no tokens
+    kShutdown,  ///< submitted after stop()
+};
+
+/** Stable name for logs and CLI output. */
+const char *rejectReasonName(RejectReason reason);
+
+/** One unit of serving work. */
+struct Request
+{
+    /** Assigned by the server at admission. */
+    int64_t id = -1;
+
+    /** NMT: source-token ids.  Word LM: prefix-token ids. */
+    std::vector<int64_t> tokens;
+
+    /** NMT: generation cap per request. */
+    int64_t max_new_tokens = 32;
+
+    /** NMT: beam width; 1 decodes greedily. */
+    int beam_width = 1;
+
+    /** Word LM: how many next-token candidates to return. */
+    int top_k = 5;
+
+    /** Set by the server at admission (latency accounting). */
+    std::chrono::steady_clock::time_point enqueued_at{};
+};
+
+/** The answer to one Request. */
+struct Response
+{
+    int64_t id = -1;
+    bool ok = false;
+    RejectReason reject = RejectReason::kNone;
+
+    /** NMT: decoded target tokens.  LM: top-k next-token ids. */
+    std::vector<int64_t> tokens;
+
+    /**
+     * NMT greedy/beam: one cumulative log-probability score (length-
+     * normalized for beam).  LM: per-candidate log-probabilities,
+     * aligned with tokens.
+     */
+    std::vector<float> scores;
+
+    // Diagnostics (not covered by the determinism contract).
+    double latency_us = 0.0;     ///< admission -> response
+    int64_t batch_requests = 0;  ///< live requests in its micro-batch
+    int64_t bucket_len = 0;      ///< length bucket it was padded to
+};
+
+} // namespace echo::serve
+
+#endif // ECHO_SERVE_REQUEST_H

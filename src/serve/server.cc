@@ -1,0 +1,169 @@
+#include "serve/server.h"
+
+#include "core/logging.h"
+#include "obs/counters.h"
+#include "obs/trace.h"
+
+namespace echo::serve {
+
+Server::Server(std::unique_ptr<InferenceSession> session,
+               ServerConfig config)
+    : session_(std::move(session)), config_(config),
+      queue_(config_.queue_capacity)
+{
+    ECHO_REQUIRE(session_ != nullptr, "server needs a session");
+    worker_ = std::thread([this] { workerLoop(); });
+}
+
+Server::~Server()
+{
+    stop();
+}
+
+Response
+Server::rejected(const Request &r, RejectReason reason) const
+{
+    Response resp;
+    resp.id = r.id;
+    resp.ok = false;
+    resp.reject = reason;
+    return resp;
+}
+
+std::future<Response>
+Server::submit(Request r)
+{
+    static obs::Counter &accepted = obs::counter(
+        "serve.requests.accepted", obs::CounterKind::kScheduling);
+    static obs::Counter &rejects = obs::counter(
+        "serve.requests.rejected", obs::CounterKind::kScheduling);
+
+    r.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+    r.enqueued_at = std::chrono::steady_clock::now();
+
+    std::promise<Response> promise;
+    std::future<Response> future = promise.get_future();
+
+    RejectReason reason = RejectReason::kNone;
+    if (r.tokens.empty())
+        reason = RejectReason::kEmpty;
+    else if (static_cast<int64_t>(r.tokens.size()) >
+             session_->maxLength())
+        reason = RejectReason::kTooLong;
+
+    if (reason == RejectReason::kNone) {
+        // Register BEFORE pushing: the worker may complete the request
+        // before tryPush returns.
+        {
+            std::lock_guard<std::mutex> lock(inflight_mu_);
+            inflight_.emplace(r.id, std::move(promise));
+        }
+        const int64_t id = r.id;
+        reason = queue_.tryPush(std::move(r));
+        if (reason == RejectReason::kNone) {
+            accepted.add(1);
+            std::lock_guard<std::mutex> lock(stats_mu_);
+            ++accepted_;
+            return future;
+        }
+        std::lock_guard<std::mutex> lock(inflight_mu_);
+        promise = std::move(inflight_.at(id));
+        inflight_.erase(id);
+    }
+
+    rejects.add(1);
+    {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++rejected_;
+    }
+    Request stub;
+    stub.id = r.id;
+    promise.set_value(rejected(stub, reason));
+    return future;
+}
+
+void
+Server::workerLoop()
+{
+    static obs::Counter &completed_ctr = obs::counter(
+        "serve.requests.completed", obs::CounterKind::kScheduling);
+    static obs::Counter &batch_ctr = obs::counter(
+        "serve.batches", obs::CounterKind::kScheduling);
+
+    BatcherConfig bcfg;
+    bcfg.max_batch = session_->config().slots;
+    bcfg.max_wait = config_.max_wait;
+    bcfg.buckets = session_->config().buckets;
+    DynamicBatcher batcher(bcfg, queue_);
+
+    MicroBatch mb;
+    std::vector<Response> responses;
+    while (batcher.next(mb)) {
+        obs::Span span;
+        if (obs::traceEnabled())
+            span.begin("serve", "micro_batch",
+                       {{"requests",
+                         static_cast<int64_t>(mb.requests.size())},
+                        {"bucket", mb.bucket_len}});
+        session_->runBatch(mb, responses);
+        const auto now = std::chrono::steady_clock::now();
+
+        batch_ctr.add(1);
+        completed_ctr.add(static_cast<int64_t>(responses.size()));
+        {
+            std::lock_guard<std::mutex> lock(stats_mu_);
+            ++batches_;
+            batched_requests_ +=
+                static_cast<int64_t>(mb.requests.size());
+            completed_ += static_cast<int64_t>(responses.size());
+            for (size_t i = 0; i < responses.size(); ++i) {
+                const double us =
+                    std::chrono::duration_cast<
+                        std::chrono::nanoseconds>(
+                        now - mb.requests[i].enqueued_at)
+                        .count() /
+                    1000.0;
+                responses[i].latency_us = us;
+                latency_us_.add(us);
+            }
+        }
+        std::lock_guard<std::mutex> lock(inflight_mu_);
+        for (Response &resp : responses) {
+            auto it = inflight_.find(resp.id);
+            ECHO_CHECK(it != inflight_.end(),
+                       "response for unknown request ", resp.id);
+            it->second.set_value(std::move(resp));
+            inflight_.erase(it);
+        }
+    }
+}
+
+void
+Server::stop()
+{
+    queue_.close();
+    if (worker_.joinable())
+        worker_.join();
+}
+
+ServerStats
+Server::stats() const
+{
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ServerStats s;
+    s.accepted = accepted_;
+    s.rejected = rejected_;
+    s.completed = completed_;
+    s.batches = batches_;
+    s.mean_batch_requests =
+        batches_ == 0 ? 0.0
+                      : static_cast<double>(batched_requests_) /
+                            static_cast<double>(batches_);
+    s.latency_mean_us = latency_us_.mean();
+    s.latency_p50_us = latency_us_.p50();
+    s.latency_p95_us = latency_us_.p95();
+    s.latency_p99_us = latency_us_.p99();
+    return s;
+}
+
+} // namespace echo::serve

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * The serving front end: admission, a worker loop driving the dynamic
+ * batcher into an InferenceSession, and latency accounting.
+ *
+ * submit() is thread-safe and non-blocking: invalid or over-capacity
+ * requests resolve their future immediately with a RejectReason;
+ * admitted requests resolve when their micro-batch completes.  One
+ * worker thread owns the session (sessions are single-consumer); the
+ * parallelism that matters is INSIDE the batch — the step graphs run
+ * on the shared thread pool via the parallel executor.
+ *
+ * Latency is tracked in a core Histogram (log-spaced buckets), so
+ * stats() reports p50/p95/p99 without retaining per-request state.
+ */
+#ifndef ECHO_SERVE_SERVER_H
+#define ECHO_SERVE_SERVER_H
+
+#include <atomic>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "core/stats.h"
+#include "serve/batcher.h"
+#include "serve/queue.h"
+#include "serve/session.h"
+
+namespace echo::serve {
+
+/** Server-level knobs (batching policy rides along). */
+struct ServerConfig
+{
+    /** Admission-queue capacity; pushes beyond it reject. */
+    size_t queue_capacity = 64;
+
+    std::chrono::microseconds max_wait{2000};
+};
+
+/** Aggregate counters and latency percentiles. */
+struct ServerStats
+{
+    int64_t accepted = 0;
+    int64_t rejected = 0;
+    int64_t completed = 0;
+    int64_t batches = 0;
+    double mean_batch_requests = 0.0;
+    double latency_mean_us = 0.0;
+    double latency_p50_us = 0.0;
+    double latency_p95_us = 0.0;
+    double latency_p99_us = 0.0;
+};
+
+/** Owns the queue, the worker, and the session. */
+class Server
+{
+  public:
+    Server(std::unique_ptr<InferenceSession> session,
+           ServerConfig config);
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /**
+     * Submit one request (any thread).  The returned future always
+     * resolves: immediately on rejection, after decoding otherwise.
+     * @p r.id and r.enqueued_at are assigned here.
+     */
+    std::future<Response> submit(Request r);
+
+    /**
+     * Stop admitting, decode everything already accepted, join the
+     * worker.  Idempotent; the destructor calls it.
+     */
+    void stop();
+
+    ServerStats stats() const;
+    const InferenceSession &session() const { return *session_; }
+
+  private:
+    void workerLoop();
+    Response rejected(const Request &r, RejectReason reason) const;
+
+    std::unique_ptr<InferenceSession> session_;
+    ServerConfig config_;
+    RequestQueue queue_;
+
+    std::mutex inflight_mu_;
+    std::unordered_map<int64_t, std::promise<Response>> inflight_;
+    std::atomic<int64_t> next_id_{0};
+
+    mutable std::mutex stats_mu_;
+    Histogram latency_us_{1.0, 1e9, 16};
+    int64_t accepted_ = 0;
+    int64_t rejected_ = 0;
+    int64_t completed_ = 0;
+    int64_t batches_ = 0;
+    int64_t batched_requests_ = 0;
+
+    std::thread worker_;
+};
+
+} // namespace echo::serve
+
+#endif // ECHO_SERVE_SERVER_H

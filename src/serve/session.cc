@@ -1,0 +1,429 @@
+#include "serve/session.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "core/logging.h"
+#include "data/vocab.h"
+#include "models/serialize.h"
+#include "obs/trace.h"
+#include "serve/beam.h"
+
+namespace echo::serve {
+
+namespace {
+
+using models::NmtDecoder;
+using models::ParamStore;
+
+/** Deterministic log-softmax of one logits row (fixed index order). */
+void
+logSoftmaxRow(const Tensor &logits, int64_t r, std::vector<double> &out)
+{
+    const int64_t v = logits.shape()[1];
+    out.resize(static_cast<size_t>(v));
+    double mx = logits.at(r, 0);
+    for (int64_t j = 1; j < v; ++j)
+        mx = std::max(mx, static_cast<double>(logits.at(r, j)));
+    double sum = 0.0;
+    for (int64_t j = 0; j < v; ++j)
+        sum += std::exp(static_cast<double>(logits.at(r, j)) - mx);
+    const double log_z = mx + std::log(sum);
+    for (int64_t j = 0; j < v; ++j)
+        out[static_cast<size_t>(j)] =
+            static_cast<double>(logits.at(r, j)) - log_z;
+}
+
+const Tensor &
+storedTensor(const ParamStore &params, const std::string &name,
+             const std::string &path)
+{
+    auto it = params.find(name);
+    if (it == params.end())
+        ECHO_FATAL(path, ": checkpoint is missing tensor '", name, "'");
+    return it->second;
+}
+
+/** Count consecutive layers named "<prefix>.l<i>.wx" from i = 0. */
+int64_t
+countLayers(const ParamStore &params, const std::string &prefix)
+{
+    int64_t n = 0;
+    while (params.count(prefix + ".l" + std::to_string(n) + ".wx"))
+        ++n;
+    return n;
+}
+
+models::WordLmConfig
+inferWordLmConfig(const ParamStore &params, const std::string &path)
+{
+    models::WordLmConfig cfg;
+    const Tensor &table = storedTensor(params, "embedding.table", path);
+    ECHO_REQUIRE(table.shape().ndim() == 2,
+                 path, ": embedding.table must be 2-D");
+    cfg.vocab = table.shape()[0];
+    cfg.hidden = table.shape()[1];
+    cfg.layers = countLayers(params, "lstm");
+    ECHO_REQUIRE(cfg.layers >= 1,
+                 path, ": no lstm.l<i>.wx tensors found");
+    return cfg;
+}
+
+models::NmtConfig
+inferNmtConfig(const ParamStore &params, const std::string &path)
+{
+    models::NmtConfig cfg;
+    const Tensor &src =
+        storedTensor(params, "src_embedding.table", path);
+    const Tensor &tgt =
+        storedTensor(params, "tgt_embedding.table", path);
+    ECHO_REQUIRE(src.shape().ndim() == 2 && tgt.shape().ndim() == 2,
+                 path, ": embedding tables must be 2-D");
+    cfg.src_vocab = src.shape()[0];
+    cfg.hidden = src.shape()[1];
+    cfg.tgt_vocab = tgt.shape()[0];
+    cfg.bidirectional = params.count("enc.bwd.l0.wx") != 0;
+    cfg.enc_layers = cfg.bidirectional ? countLayers(params, "enc.fwd")
+                                       : countLayers(params, "enc");
+    ECHO_REQUIRE(cfg.enc_layers >= 1,
+                 path, ": no encoder layer tensors found");
+    return cfg;
+}
+
+void
+validateSessionConfig(const SessionConfig &cfg)
+{
+    ECHO_REQUIRE(cfg.slots >= 1, "session needs at least one slot");
+    ECHO_REQUIRE(!cfg.buckets.empty() &&
+                     std::is_sorted(cfg.buckets.begin(),
+                                    cfg.buckets.end()) &&
+                     cfg.buckets.front() >= 1,
+                 "session buckets must be ascending and positive");
+    ECHO_REQUIRE(cfg.beam_width >= 1, "beam width must be positive");
+}
+
+void
+validateBatch(const MicroBatch &mb, const SessionConfig &cfg)
+{
+    ECHO_REQUIRE(!mb.requests.empty() &&
+                     static_cast<int64_t>(mb.requests.size()) <=
+                         cfg.slots,
+                 "micro-batch holds ", mb.requests.size(),
+                 " requests for ", cfg.slots, " slots");
+    for (const Request &r : mb.requests)
+        ECHO_REQUIRE(!r.tokens.empty() &&
+                         static_cast<int64_t>(r.tokens.size()) <=
+                             mb.bucket_len,
+                     "request ", r.id, " does not fit bucket ",
+                     mb.bucket_len);
+}
+
+} // namespace
+
+InferenceSession::InferenceSession(SessionConfig config)
+    : config_(std::move(config))
+{
+    validateSessionConfig(config_);
+}
+
+int64_t
+InferenceSession::bucketIndex(int64_t bucket_len) const
+{
+    for (size_t i = 0; i < config_.buckets.size(); ++i)
+        if (config_.buckets[i] == bucket_len)
+            return static_cast<int64_t>(i);
+    ECHO_FATAL("micro-batch bucket ", bucket_len,
+               " is not a configured bucket");
+}
+
+void
+InferenceSession::journalBatch(const MicroBatch &mb)
+{
+    const int64_t pool = bucketIndex(mb.bucket_len);
+    for (size_t i = 0; i < mb.requests.size(); ++i) {
+        analysis::SlotInterval iv;
+        iv.request_id = mb.requests[i].id;
+        iv.pool = pool;
+        iv.slot = static_cast<int>(i);
+        iv.acquired = batch_seq_;
+        iv.released = batch_seq_ + 1;
+        journal_.push_back(iv);
+    }
+    ++batch_seq_;
+}
+
+std::unique_ptr<InferenceSession>
+InferenceSession::fromCheckpoint(const std::string &path,
+                                 const SessionConfig &config)
+{
+    ParamStore params = models::loadParams(path);
+    if (params.count("src_embedding.table")) {
+        models::NmtConfig mcfg = inferNmtConfig(params, path);
+        return std::make_unique<NmtSession>(mcfg, std::move(params),
+                                            config);
+    }
+    if (params.count("embedding.table")) {
+        models::WordLmConfig mcfg = inferWordLmConfig(params, path);
+        return std::make_unique<WordLmSession>(mcfg, std::move(params),
+                                               config);
+    }
+    ECHO_FATAL(path, ": checkpoint matches no known model family "
+                     "(no embedding.table / src_embedding.table)");
+}
+
+// ---------------------------------------------------------------- LM --
+
+WordLmSession::WordLmSession(models::WordLmConfig model_config,
+                             models::ParamStore params,
+                             SessionConfig config)
+    : InferenceSession(std::move(config)), mcfg_(model_config),
+      params_(std::move(params)),
+      stepper_(mcfg_, config_.slots, config_.mode)
+{
+}
+
+std::string
+WordLmSession::describe() const
+{
+    std::ostringstream oss;
+    oss << "word_lm vocab=" << mcfg_.vocab << " hidden=" << mcfg_.hidden
+        << " layers=" << mcfg_.layers << " slots=" << config_.slots;
+    return oss.str();
+}
+
+void
+WordLmSession::runBatch(const MicroBatch &mb, std::vector<Response> &out)
+{
+    validateBatch(mb, config_);
+    journalBatch(mb);
+    obs::Span span;
+    if (obs::traceEnabled())
+        span.begin("serve", "lm_batch",
+                   {{"requests",
+                     static_cast<int64_t>(mb.requests.size())},
+                    {"bucket", mb.bucket_len}});
+
+    const int64_t b = config_.slots;
+    const int64_t n = static_cast<int64_t>(mb.requests.size());
+    out.assign(mb.requests.size(), Response{});
+
+    Tensor token(Shape({b}));
+    models::WordLmStepper::State state = stepper_.initialState();
+    std::vector<double> logp;
+
+    // Fixed step count per bucket: rows whose prefix ends early keep
+    // stepping on kPad so the batch shape — and hence every row's
+    // arithmetic — is composition-independent.
+    for (int64_t t = 0; t < mb.bucket_len; ++t) {
+        for (int64_t r = 0; r < b; ++r) {
+            const bool live =
+                r < n &&
+                t < static_cast<int64_t>(mb.requests[r].tokens.size());
+            token.at(r) = static_cast<float>(
+                live ? mb.requests[r].tokens[static_cast<size_t>(t)]
+                     : data::Vocab::kPad);
+        }
+        const Tensor logits = stepper_.step(params_, token, state);
+
+        // A row's next-token distribution is read at its own last
+        // prefix position, wherever the bucket boundary is.
+        for (int64_t r = 0; r < n; ++r) {
+            const Request &req = mb.requests[static_cast<size_t>(r)];
+            if (t != static_cast<int64_t>(req.tokens.size()) - 1)
+                continue;
+            logSoftmaxRow(logits, r, logp);
+            const int64_t k = std::clamp<int64_t>(
+                req.top_k, 1, static_cast<int64_t>(logp.size()));
+            std::vector<int64_t> ids(logp.size());
+            for (size_t j = 0; j < ids.size(); ++j)
+                ids[j] = static_cast<int64_t>(j);
+            std::partial_sort(
+                ids.begin(), ids.begin() + k, ids.end(),
+                [&](int64_t a, int64_t c) {
+                    const double pa = logp[static_cast<size_t>(a)];
+                    const double pc = logp[static_cast<size_t>(c)];
+                    return pa != pc ? pa > pc : a < c;
+                });
+            Response &resp = out[static_cast<size_t>(r)];
+            resp.id = req.id;
+            resp.ok = true;
+            resp.bucket_len = mb.bucket_len;
+            resp.batch_requests = n;
+            for (int64_t j = 0; j < k; ++j) {
+                resp.tokens.push_back(ids[static_cast<size_t>(j)]);
+                resp.scores.push_back(static_cast<float>(
+                    logp[static_cast<size_t>(ids[static_cast<size_t>(j)])]));
+            }
+        }
+    }
+}
+
+// --------------------------------------------------------------- NMT --
+
+NmtSession::NmtSession(models::NmtConfig model_config,
+                       models::ParamStore params, SessionConfig config)
+    : InferenceSession(std::move(config)), mcfg_(model_config),
+      params_(std::move(params)),
+      greedy_(config_.buckets.size()), beam_(config_.buckets.size())
+{
+    mcfg_.batch = config_.slots;
+    mcfg_.src_len = config_.buckets.back();
+}
+
+NmtSession::~NmtSession() = default;
+
+std::string
+NmtSession::describe() const
+{
+    std::ostringstream oss;
+    oss << "nmt src_vocab=" << mcfg_.src_vocab
+        << " tgt_vocab=" << mcfg_.tgt_vocab
+        << " hidden=" << mcfg_.hidden
+        << " enc_layers=" << mcfg_.enc_layers
+        << (mcfg_.bidirectional ? " bidir" : " unidir")
+        << " slots=" << config_.slots
+        << " beam=" << config_.beam_width;
+    return oss.str();
+}
+
+const models::NmtDecoder &
+NmtSession::greedyDecoder(int64_t bucket_idx)
+{
+    auto &slot = greedy_[static_cast<size_t>(bucket_idx)];
+    if (!slot)
+        slot = std::make_unique<NmtDecoder>(
+            mcfg_, config_.slots,
+            config_.buckets[static_cast<size_t>(bucket_idx)],
+            config_.mode);
+    return *slot;
+}
+
+const models::NmtDecoder &
+NmtSession::beamDecoder(int64_t bucket_idx)
+{
+    auto &slot = beam_[static_cast<size_t>(bucket_idx)];
+    if (!slot)
+        slot = std::make_unique<NmtDecoder>(
+            mcfg_, config_.beam_width,
+            config_.buckets[static_cast<size_t>(bucket_idx)],
+            config_.mode);
+    return *slot;
+}
+
+void
+NmtSession::runBatch(const MicroBatch &mb, std::vector<Response> &out)
+{
+    validateBatch(mb, config_);
+    journalBatch(mb);
+    obs::Span span;
+    if (obs::traceEnabled())
+        span.begin("serve", "nmt_batch",
+                   {{"requests",
+                     static_cast<int64_t>(mb.requests.size())},
+                    {"bucket", mb.bucket_len}});
+
+    const int64_t b = config_.slots;
+    const int64_t n = static_cast<int64_t>(mb.requests.size());
+    const int64_t bucket_idx = bucketIndex(mb.bucket_len);
+    out.assign(mb.requests.size(), Response{});
+
+    // One padded source tensor and ONE encoder run cover the whole
+    // micro-batch; beam requests reuse their encoder row via tiling.
+    Tensor src = Tensor::zeros(Shape({b, mb.bucket_len}));
+    for (int64_t r = 0; r < n; ++r) {
+        const auto &toks = mb.requests[static_cast<size_t>(r)].tokens;
+        for (size_t t = 0; t < toks.size(); ++t)
+            src.at(r, static_cast<int64_t>(t)) =
+                static_cast<float>(toks[t]);
+    }
+    const models::NmtDecoder &dec = greedyDecoder(bucket_idx);
+    const NmtDecoder::Encoded enc = dec.encode(params_, src);
+
+    for (int64_t r = 0; r < n; ++r) {
+        Response &resp = out[static_cast<size_t>(r)];
+        resp.id = mb.requests[static_cast<size_t>(r)].id;
+        resp.ok = true;
+        resp.bucket_len = mb.bucket_len;
+        resp.batch_requests = n;
+    }
+
+    // Greedy rows decode together on the slot-wide step graph.
+    std::vector<bool> greedy_row(static_cast<size_t>(b), false);
+    int64_t max_steps = 0;
+    for (int64_t r = 0; r < n; ++r) {
+        const Request &req = mb.requests[static_cast<size_t>(r)];
+        if (req.beam_width <= 1) {
+            greedy_row[static_cast<size_t>(r)] = true;
+            max_steps = std::max(max_steps, req.max_new_tokens);
+        }
+    }
+    if (max_steps > 0) {
+        NmtDecoder::State state = dec.initialState();
+        std::vector<bool> done(static_cast<size_t>(b), true);
+        for (int64_t r = 0; r < b; ++r)
+            done[static_cast<size_t>(r)] = !greedy_row[static_cast<size_t>(r)];
+        std::vector<double> logp;
+        std::vector<double> raw(static_cast<size_t>(n), 0.0);
+        for (int64_t t = 0; t < max_steps; ++t) {
+            const Tensor logits = dec.step(params_, state, enc);
+            bool all_done = true;
+            for (int64_t r = 0; r < b; ++r) {
+                // Deterministic argmax (first maximum) on every row,
+                // live or not, so the fed-back token stream is a pure
+                // function of the row.
+                int64_t best = 0;
+                float best_score = logits.at(r, 0);
+                for (int64_t j = 1; j < mcfg_.tgt_vocab; ++j)
+                    if (logits.at(r, j) > best_score) {
+                        best_score = logits.at(r, j);
+                        best = j;
+                    }
+                state.token.at(r) = static_cast<float>(best);
+                if (done[static_cast<size_t>(r)])
+                    continue;
+                const Request &req =
+                    mb.requests[static_cast<size_t>(r)];
+                Response &resp = out[static_cast<size_t>(r)];
+                if (best == data::Vocab::kEos) {
+                    done[static_cast<size_t>(r)] = true;
+                } else {
+                    logSoftmaxRow(logits, r, logp);
+                    resp.tokens.push_back(best);
+                    raw[static_cast<size_t>(r)] +=
+                        logp[static_cast<size_t>(best)];
+                    if (static_cast<int64_t>(resp.tokens.size()) >=
+                        req.max_new_tokens)
+                        done[static_cast<size_t>(r)] = true;
+                }
+                all_done = all_done && done[static_cast<size_t>(r)];
+            }
+            if (all_done)
+                break;
+        }
+        for (int64_t r = 0; r < n; ++r)
+            if (greedy_row[static_cast<size_t>(r)])
+                out[static_cast<size_t>(r)].scores = {
+                    static_cast<float>(raw[static_cast<size_t>(r)])};
+    }
+
+    // Beam rows decode one request at a time on the beam-wide graph.
+    for (int64_t r = 0; r < n; ++r) {
+        const Request &req = mb.requests[static_cast<size_t>(r)];
+        if (req.beam_width <= 1)
+            continue;
+        const models::NmtDecoder &bdec = beamDecoder(bucket_idx);
+        const NmtDecoder::Encoded tiled =
+            tileEncoderRow(enc, r, bdec.batch());
+        const int width = std::clamp(req.beam_width, 1,
+                                     config_.beam_width);
+        const BeamHypothesis hyp =
+            beamSearch(bdec, params_, tiled, width, req.max_new_tokens,
+                       config_.beam_alpha);
+        Response &resp = out[static_cast<size_t>(r)];
+        resp.tokens = hyp.tokens;
+        resp.scores = {hyp.score};
+    }
+}
+
+} // namespace echo::serve

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Inference sessions: checkpoint-backed, state-cached micro-batch
+ * decoding for the two paper models.
+ *
+ * A session owns the loaded parameters and the step-decoder graphs —
+ * built ONCE per (slot count, length bucket) and reused for every
+ * micro-batch, which is the serving-side counterpart of the paper's
+ * "build the step graph once, run it T times" training structure.
+ *
+ * Determinism contract (test-enforced): every graph in a session has a
+ * fixed batch dimension (the slot count), unused slots are padded with
+ * fixed values, and all ops are row-wise along the batch axis — so a
+ * request's response payload is byte-identical whether it ran alone or
+ * alongside seven neighbours, at any thread count.
+ *
+ * Each runBatch() appends per-request workspace-slot occupancy
+ * intervals to a journal; analysis::detectWorkspaceAliasing() verifies
+ * no two live requests ever shared a slot (echo-lint --serve-journal).
+ *
+ * Config inference: fromCheckpoint() reconstructs the model
+ * hyperparameters from tensor names and shapes (vocab/hidden/layers,
+ * encoder directionality).  Structure flags that leave no trace in the
+ * weights (e.g. normalized vs. plain attention scoring) are assumed to
+ * be the training defaults.
+ */
+#ifndef ECHO_SERVE_SESSION_H
+#define ECHO_SERVE_SESSION_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/hazards.h"
+#include "models/nmt.h"
+#include "models/word_lm.h"
+#include "serve/batcher.h"
+#include "serve/request.h"
+
+namespace echo::serve {
+
+/** Session-wide serving parameters. */
+struct SessionConfig
+{
+    /** Rows per micro-batch graph (= batcher max_batch). */
+    int64_t slots = 8;
+
+    /** Ascending padded source/prefix lengths (= batcher buckets). */
+    std::vector<int64_t> buckets = {8, 16, 32};
+
+    /** Decoder rows reserved for beam requests; request widths are
+     *  clamped to this. */
+    int beam_width = 4;
+
+    /** GNMT length-normalization exponent for beam scoring. */
+    float beam_alpha = 0.6f;
+
+    graph::ExecMode mode = graph::ExecMode::kAuto;
+};
+
+/** A loaded model ready to decode micro-batches. */
+class InferenceSession
+{
+  public:
+    virtual ~InferenceSession() = default;
+
+    InferenceSession(const InferenceSession &) = delete;
+    InferenceSession &operator=(const InferenceSession &) = delete;
+
+    const SessionConfig &config() const { return config_; }
+
+    /** Largest admissible request length. */
+    int64_t maxLength() const { return config_.buckets.back(); }
+
+    /** "word_lm" or "nmt". */
+    virtual const char *kind() const = 0;
+
+    /** One-line model summary for CLI banners. */
+    virtual std::string describe() const = 0;
+
+    /**
+     * Decode one micro-batch.  @p out receives one Response per
+     * request, in order, with payload fields (tokens/scores) and
+     * bucket/batch diagnostics filled in; latency is the caller's.
+     * Not thread-safe: one worker drives a session.
+     */
+    virtual void runBatch(const MicroBatch &mb,
+                          std::vector<Response> &out) = 0;
+
+    /** Workspace occupancy of every batch run so far. */
+    const std::vector<analysis::SlotInterval> &slotJournal() const
+    {
+        return journal_;
+    }
+
+    /**
+     * Load @p path and build the right session for the checkpoint's
+     * model family (word LM / NMT), inferring hyperparameters from the
+     * stored tensors.
+     */
+    static std::unique_ptr<InferenceSession>
+    fromCheckpoint(const std::string &path, const SessionConfig &config);
+
+  protected:
+    explicit InferenceSession(SessionConfig config);
+
+    /** Record the (pool=bucket index, slot=row) occupancy of @p mb. */
+    void journalBatch(const MicroBatch &mb);
+
+    /** Index of @p bucket_len in config().buckets (fatal if absent). */
+    int64_t bucketIndex(int64_t bucket_len) const;
+
+    SessionConfig config_;
+    std::vector<analysis::SlotInterval> journal_;
+    int64_t batch_seq_ = 0;
+};
+
+/** Word-LM serving: next-token top-k scoring for a prefix. */
+class WordLmSession final : public InferenceSession
+{
+  public:
+    WordLmSession(models::WordLmConfig model_config,
+                  models::ParamStore params, SessionConfig config);
+
+    const char *kind() const override { return "word_lm"; }
+    std::string describe() const override;
+    void runBatch(const MicroBatch &mb,
+                  std::vector<Response> &out) override;
+
+    const models::WordLmConfig &modelConfig() const { return mcfg_; }
+
+  private:
+    models::WordLmConfig mcfg_;
+    models::ParamStore params_;
+    /** One stepper serves every bucket: the step graph has no length
+     *  dimension, only the bucket's step COUNT differs. */
+    models::WordLmStepper stepper_;
+};
+
+/** NMT serving: batched greedy and per-request beam decoding. */
+class NmtSession final : public InferenceSession
+{
+  public:
+    NmtSession(models::NmtConfig model_config, models::ParamStore params,
+               SessionConfig config);
+    ~NmtSession() override;
+
+    const char *kind() const override { return "nmt"; }
+    std::string describe() const override;
+    void runBatch(const MicroBatch &mb,
+                  std::vector<Response> &out) override;
+
+    const models::NmtConfig &modelConfig() const { return mcfg_; }
+
+  private:
+    /** Per-bucket decoders, built on first use. */
+    const models::NmtDecoder &greedyDecoder(int64_t bucket_idx);
+    const models::NmtDecoder &beamDecoder(int64_t bucket_idx);
+
+    models::NmtConfig mcfg_;
+    models::ParamStore params_;
+    std::vector<std::unique_ptr<models::NmtDecoder>> greedy_;
+    std::vector<std::unique_ptr<models::NmtDecoder>> beam_;
+};
+
+} // namespace echo::serve
+
+#endif // ECHO_SERVE_SESSION_H

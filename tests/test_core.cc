@@ -118,6 +118,90 @@ TEST(Stats, PearsonConstantSampleIsZero)
     EXPECT_DOUBLE_EQ(pearsonCorrelation(xs, ys), 0.0);
 }
 
+TEST(Histogram, BucketBoundariesFollowLogSpacing)
+{
+    // lo=1, 1 bucket per decade: bucket 1 = [1, 10), bucket 2 =
+    // [10, 100), bucket 3 = [100, 1000), then overflow.
+    Histogram h(1.0, 1000.0, 1);
+    EXPECT_EQ(h.numBuckets(), 5u); // underflow + 3 + overflow
+    EXPECT_EQ(h.bucketIndex(0.5), 0u);
+    EXPECT_EQ(h.bucketIndex(-3.0), 0u);
+    EXPECT_EQ(h.bucketIndex(1.0), 1u);
+    EXPECT_EQ(h.bucketIndex(9.99), 1u);
+    EXPECT_EQ(h.bucketIndex(10.0), 2u);
+    EXPECT_EQ(h.bucketIndex(999.0), 3u);
+    EXPECT_EQ(h.bucketIndex(1000.0), 4u);
+    EXPECT_EQ(h.bucketIndex(1e9), 4u);
+    EXPECT_DOUBLE_EQ(h.bucketLowerBound(0), 0.0);
+    EXPECT_DOUBLE_EQ(h.bucketLowerBound(1), 1.0);
+    EXPECT_DOUBLE_EQ(h.bucketLowerBound(2), 10.0);
+    EXPECT_DOUBLE_EQ(h.bucketLowerBound(3), 100.0);
+}
+
+TEST(Histogram, FinerBucketsPerDecade)
+{
+    Histogram h(1.0, 10.0, 4);
+    // r = 10^(1/4) ~ 1.778: buckets [1,1.778), [1.778,3.162), ...
+    EXPECT_EQ(h.bucketIndex(1.0), 1u);
+    EXPECT_EQ(h.bucketIndex(1.7), 1u);
+    EXPECT_EQ(h.bucketIndex(1.8), 2u);
+    EXPECT_EQ(h.bucketIndex(3.2), 3u);
+    EXPECT_EQ(h.bucketIndex(5.7), 4u);
+    EXPECT_NEAR(h.bucketLowerBound(2), std::pow(10.0, 0.25), 1e-12);
+}
+
+TEST(Histogram, SmallSamplePercentilesAreExact)
+{
+    Histogram h;
+    for (double v : {10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0,
+                     90.0, 100.0})
+        h.add(v);
+    // Nearest rank over 10 samples: p50 -> 5th = 50, p95 -> 10th,
+    // p99 -> 10th, p10 -> 1st.
+    EXPECT_DOUBLE_EQ(h.percentile(50.0), 50.0);
+    EXPECT_DOUBLE_EQ(h.percentile(95.0), 100.0);
+    EXPECT_DOUBLE_EQ(h.p99(), 100.0);
+    EXPECT_DOUBLE_EQ(h.percentile(10.0), 10.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 10.0);
+    EXPECT_DOUBLE_EQ(h.percentile(100.0), 100.0);
+    EXPECT_EQ(h.count(), 10u);
+    EXPECT_DOUBLE_EQ(h.mean(), 55.0);
+}
+
+TEST(Histogram, EmptyPercentileIsZero)
+{
+    Histogram h;
+    EXPECT_DOUBLE_EQ(h.p50(), 0.0);
+    EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(Histogram, LargeSamplePercentilesApproximate)
+{
+    // Past the exact-sample capacity the percentile comes from bucket
+    // interpolation; with 16 buckets/decade the relative error stays
+    // within one bucket width (~15%).
+    Histogram h;
+    for (int i = 1; i <= 20000; ++i)
+        h.add(static_cast<double>(i));
+    ASSERT_GT(h.count(), Histogram::kExactCapacity);
+    EXPECT_NEAR(h.percentile(50.0), 10000.0, 1500.0);
+    EXPECT_NEAR(h.percentile(95.0), 19000.0, 2900.0);
+    EXPECT_NEAR(h.percentile(99.0), 19800.0, 3000.0);
+    EXPECT_DOUBLE_EQ(h.min(), 1.0);
+    EXPECT_DOUBLE_EQ(h.max(), 20000.0);
+}
+
+TEST(Histogram, UnderflowAndOverflowCounted)
+{
+    Histogram h(1.0, 100.0, 1);
+    h.add(0.1);
+    h.add(-5.0);
+    h.add(1e6);
+    EXPECT_EQ(h.bucketCount(0), 2);
+    EXPECT_EQ(h.bucketCount(h.numBuckets() - 1), 1);
+    EXPECT_EQ(h.count(), 3u);
+}
+
 TEST(Ema, ConvergesToConstantInput)
 {
     Ema e(0.5);

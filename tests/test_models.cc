@@ -241,6 +241,118 @@ TEST(Nmt, GreedyDecodeProducesTokensInVocab)
     }
 }
 
+TEST(NmtDecoder, RowIsIndependentOfBatchComposition)
+{
+    // The serving determinism contract: a row's encoder outputs and
+    // step logits are a pure function of that row — byte-identical
+    // whether the row runs alone or padded into a wider batch.
+    const NmtConfig cfg = tinyNmtConfig();
+    NmtModel model(cfg);
+    Rng rng(5);
+    const ParamStore params = model.initialParams(rng);
+
+    const std::vector<int64_t> sentence = {5, 9, 13, 4};
+    const int64_t ts = 7;
+
+    NmtDecoder solo(cfg, 1, ts);
+    Tensor solo_src = Tensor::zeros(Shape({1, ts}));
+    for (size_t t = 0; t < sentence.size(); ++t)
+        solo_src.at(0, static_cast<int64_t>(t)) =
+            static_cast<float>(sentence[t]);
+
+    NmtDecoder wide(cfg, 4, ts);
+    Tensor wide_src = Tensor::zeros(Shape({4, ts}));
+    for (size_t t = 0; t < sentence.size(); ++t)
+        wide_src.at(2, static_cast<int64_t>(t)) =
+            static_cast<float>(sentence[t]);
+    // Give the neighbours different content.
+    wide_src.at(0, 0) = 7.0f;
+    wide_src.at(1, 0) = 11.0f;
+    wide_src.at(3, 0) = 3.0f;
+
+    const auto solo_enc = solo.encode(params, solo_src);
+    const auto wide_enc = wide.encode(params, wide_src);
+    const int64_t h = cfg.hidden;
+    for (int64_t t = 0; t < ts; ++t)
+        for (int64_t j = 0; j < h; ++j) {
+            EXPECT_EQ(solo_enc.hs.at(0, t, j), wide_enc.hs.at(2, t, j));
+            EXPECT_EQ(solo_enc.keys.at(0, t, j),
+                      wide_enc.keys.at(2, t, j));
+        }
+
+    auto solo_state = solo.initialState();
+    auto wide_state = wide.initialState();
+    for (int step = 0; step < 3; ++step) {
+        const Tensor solo_logits =
+            solo.step(params, solo_state, solo_enc);
+        const Tensor wide_logits =
+            wide.step(params, wide_state, wide_enc);
+        for (int64_t v = 0; v < cfg.tgt_vocab; ++v)
+            EXPECT_EQ(solo_logits.at(0, v), wide_logits.at(2, v))
+                << "step " << step << " vocab " << v;
+        // Feed both rows the same next token.
+        int64_t best = 0;
+        for (int64_t v = 1; v < cfg.tgt_vocab; ++v)
+            if (solo_logits.at(0, v) > solo_logits.at(0, best))
+                best = v;
+        solo_state.token.at(0) = static_cast<float>(best);
+        wide_state.token.at(2) = static_cast<float>(best);
+    }
+}
+
+TEST(WordLmStepper, RowIsIndependentOfNeighborRows)
+{
+    const WordLmConfig cfg = tinyLmConfig();
+    WordLmModel model(cfg);
+    Rng rng(6);
+    const ParamStore params = model.initialParams(rng);
+
+    WordLmStepper solo(cfg, 1);
+    WordLmStepper wide(cfg, 8);
+    auto solo_state = solo.initialState();
+    auto wide_state = wide.initialState();
+
+    const std::vector<int64_t> prefix = {7, 12, 3};
+    for (size_t t = 0; t < prefix.size(); ++t) {
+        Tensor solo_tok(Shape({1}));
+        solo_tok.at(0) = static_cast<float>(prefix[t]);
+        Tensor wide_tok(Shape({8}));
+        for (int64_t r = 0; r < 8; ++r)
+            wide_tok.at(r) = static_cast<float>((r * 5 + t) %
+                                                cfg.vocab);
+        wide_tok.at(5) = static_cast<float>(prefix[t]);
+
+        const Tensor solo_logits =
+            solo.step(params, solo_tok, solo_state);
+        const Tensor wide_logits =
+            wide.step(params, wide_tok, wide_state);
+        for (int64_t v = 0; v < cfg.vocab; ++v)
+            EXPECT_EQ(solo_logits.at(0, v), wide_logits.at(5, v))
+                << "step " << t << " vocab " << v;
+    }
+}
+
+TEST(WordLmStepper, MatchesTrainingGraphLogits)
+{
+    // Stepping token-by-token over the training weights must walk the
+    // exact same arithmetic as the training graph's forward pass: the
+    // step graph reuses the training weight names and cell structure.
+    const WordLmConfig cfg = tinyLmConfig();
+    WordLmModel model(cfg);
+    Rng rng(7);
+    const ParamStore params = model.initialParams(rng);
+
+    WordLmStepper stepper(cfg, 1);
+    auto state = stepper.initialState();
+    Tensor tok(Shape({1}));
+    tok.at(0) = 9.0f;
+    const Tensor logits = stepper.step(params, tok, state);
+    EXPECT_TRUE(logits.allFinite());
+    ASSERT_EQ(logits.shape(), Shape({1, cfg.vocab}));
+    EXPECT_EQ(state.h.size(), static_cast<size_t>(cfg.layers));
+    EXPECT_EQ(state.c.size(), static_cast<size_t>(cfg.layers));
+}
+
 
 TEST(Nmt, TfStyleAttentionVariantTrainsAndDiffers)
 {
@@ -337,6 +449,114 @@ TEST(Serialize, RejectsGarbageFiles)
     }
     EXPECT_EXIT({ loadParams(path); },
                 ::testing::ExitedWithCode(1), "not an ECHO checkpoint");
+}
+
+TEST(Serialize, WritesVersionedHeader)
+{
+    ParamStore params;
+    params["w"] = Tensor::full(Shape({2}), 1.5f);
+    const std::string path =
+        ::testing::TempDir() + "echo_header.ckpt";
+    saveParams(params, path);
+
+    std::ifstream is(path, std::ios::binary);
+    char magic[8];
+    is.read(magic, sizeof(magic));
+    EXPECT_EQ(std::string(magic, 8), "ECHOCKPT");
+    uint32_t version = 0, reserved = 1;
+    is.read(reinterpret_cast<char *>(&version), sizeof(version));
+    is.read(reinterpret_cast<char *>(&reserved), sizeof(reserved));
+    EXPECT_EQ(version, kCheckpointVersion);
+    EXPECT_EQ(reserved, 0u);
+}
+
+/** Write @p params in the legacy headerless "ECHO0001" layout. */
+void
+writeLegacyCheckpoint(const ParamStore &params, const std::string &path)
+{
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    os.write("ECHO0001", 8);
+    const auto u64 = [&](uint64_t v) {
+        os.write(reinterpret_cast<const char *>(&v), sizeof(v));
+    };
+    u64(params.size());
+    for (const auto &[name, tensor] : params) {
+        u64(name.size());
+        os.write(name.data(),
+                 static_cast<std::streamsize>(name.size()));
+        u64(static_cast<uint64_t>(tensor.shape().ndim()));
+        for (int d = 0; d < tensor.shape().ndim(); ++d) {
+            const int64_t extent = tensor.shape()[d];
+            os.write(reinterpret_cast<const char *>(&extent),
+                     sizeof(extent));
+        }
+        os.write(reinterpret_cast<const char *>(tensor.data()),
+                 static_cast<std::streamsize>(tensor.numel() *
+                                              sizeof(float)));
+    }
+}
+
+TEST(Serialize, ReadsLegacyHeaderlessFormat)
+{
+    Rng rng(47);
+    ParamStore params;
+    params["layer.w"] = Tensor::uniform(Shape({4, 3}), rng);
+    params["layer.b"] = Tensor::uniform(Shape({3}), rng);
+    const std::string path =
+        ::testing::TempDir() + "echo_legacy.ckpt";
+    writeLegacyCheckpoint(params, path);
+
+    const ParamStore restored = loadParams(path);
+    ASSERT_EQ(restored.size(), params.size());
+    for (const auto &[name, tensor] : params) {
+        const auto it = restored.find(name);
+        ASSERT_NE(it, restored.end()) << name;
+        for (int64_t i = 0; i < tensor.numel(); ++i)
+            EXPECT_EQ(it->second.at(i), tensor.at(i));
+    }
+}
+
+TEST(Serialize, RejectsTruncatedFile)
+{
+    ParamStore params;
+    Rng rng(48);
+    params["w"] = Tensor::uniform(Shape({16, 16}), rng);
+    const std::string full =
+        ::testing::TempDir() + "echo_full.ckpt";
+    saveParams(params, full);
+
+    std::ifstream is(full, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(is)),
+                      std::istreambuf_iterator<char>());
+    const std::string path =
+        ::testing::TempDir() + "echo_truncated.ckpt";
+    {
+        std::ofstream os(path, std::ios::binary);
+        os.write(bytes.data(),
+                 static_cast<std::streamsize>(bytes.size() / 2));
+    }
+    EXPECT_EXIT({ loadParams(path); }, ::testing::ExitedWithCode(1),
+                "corrupt checkpoint");
+}
+
+TEST(Serialize, RejectsUnsupportedVersion)
+{
+    ParamStore params;
+    params["w"] = Tensor::full(Shape({1}), 0.0f);
+    const std::string path =
+        ::testing::TempDir() + "echo_future.ckpt";
+    saveParams(params, path);
+    {
+        // Bump the version word in place.
+        std::fstream os(path,
+                        std::ios::binary | std::ios::in | std::ios::out);
+        os.seekp(8);
+        const uint32_t future = kCheckpointVersion + 1;
+        os.write(reinterpret_cast<const char *>(&future),
+                 sizeof(future));
+    }
+    EXPECT_EXIT({ loadParams(path); }, ::testing::ExitedWithCode(1),
+                "unsupported checkpoint version");
 }
 
 TEST(Cnn, BuildsAndComputesFiniteLoss)

@@ -11,16 +11,25 @@
  * can gate on it.  --dot=PATH additionally dumps the violating
  * subgraph of the first failing graph as Graphviz.
  *
+ * A second mode checks serving workspace journals (written by
+ * echo-serve --journal=PATH): --serve-journal=PATH parses the slot
+ * occupancy intervals and runs the slot-aliasing detector — no two
+ * live requests may ever share a (pool, slot) row.  This mode replaces
+ * the graph lints; exit status is 0 when the journal is clean.
+ *
  * usage: echo-lint [--model=word_lm|nmt|all] [--policy=off|auto|all]
  *                  [--dot=PATH]
+ *        echo-lint --serve-journal=PATH [--serve-slots=N]
  */
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "analysis/analysis.h"
+#include "analysis/hazards.h"
 #include "echo/recompute_pass.h"
 #include "models/nmt.h"
 #include "models/word_lm.h"
@@ -34,6 +43,8 @@ struct LintOptions
     std::string model = "all";  // word_lm | nmt | all
     std::string policy = "all"; // off | auto | all
     std::string dot_path;       // empty = no dump
+    std::string serve_journal;  // empty = graph-lint mode
+    int serve_slots = 8;
 };
 
 /** One graph to lint: where it came from and what it computes. */
@@ -121,6 +132,52 @@ lintModel(Model &model, const std::string &title,
     return failures;
 }
 
+/**
+ * Lint a serving workspace journal: one interval per line,
+ * "request_id pool slot acquired released" (echo-serve --journal
+ * format; '#' comments allowed).
+ */
+int
+lintServeJournal(const LintOptions &opts)
+{
+    std::ifstream in(opts.serve_journal);
+    if (!in) {
+        std::cerr << "echo-lint: cannot open " << opts.serve_journal
+                  << "\n";
+        return 2;
+    }
+    std::vector<analysis::SlotInterval> journal;
+    std::string line;
+    size_t line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream fields(line);
+        analysis::SlotInterval iv;
+        if (!(fields >> iv.request_id >> iv.pool >> iv.slot >>
+              iv.acquired >> iv.released)) {
+            std::cerr << "echo-lint: " << opts.serve_journal << ":"
+                      << line_no << ": malformed journal line\n";
+            return 2;
+        }
+        journal.push_back(iv);
+    }
+
+    const analysis::AnalysisReport report =
+        analysis::detectWorkspaceAliasing(journal, opts.serve_slots);
+    std::cout << "== serve journal (" << journal.size()
+              << " intervals, " << opts.serve_slots << " slots): ";
+    if (report.diagnostics.empty()) {
+        std::cout << "clean\n";
+        return 0;
+    }
+    std::cout << report.errorCount() << " error(s), "
+              << report.warningCount() << " warning(s)\n"
+              << report.toString();
+    return report.ok() ? 0 : 1;
+}
+
 bool
 parseArgs(int argc, char **argv, LintOptions &opts)
 {
@@ -132,10 +189,16 @@ parseArgs(int argc, char **argv, LintOptions &opts)
             opts.policy = arg.substr(9);
         } else if (arg.rfind("--dot=", 0) == 0) {
             opts.dot_path = arg.substr(6);
+        } else if (arg.rfind("--serve-journal=", 0) == 0) {
+            opts.serve_journal = arg.substr(16);
+        } else if (arg.rfind("--serve-slots=", 0) == 0) {
+            opts.serve_slots = std::stoi(arg.substr(14));
         } else {
             std::cerr << "echo-lint: unknown argument " << arg << "\n"
                       << "usage: echo-lint [--model=word_lm|nmt|all] "
-                         "[--policy=off|auto|all] [--dot=PATH]\n";
+                         "[--policy=off|auto|all] [--dot=PATH]\n"
+                         "       echo-lint --serve-journal=PATH "
+                         "[--serve-slots=N]\n";
             return false;
         }
     }
@@ -158,6 +221,9 @@ main(int argc, char **argv)
     LintOptions opts;
     if (!parseArgs(argc, argv, opts))
         return 2;
+
+    if (!opts.serve_journal.empty())
+        return lintServeJournal(opts);
 
     int failures = 0;
     bool dot_written = false;

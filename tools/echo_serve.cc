@@ -1,0 +1,233 @@
+/**
+ * @file
+ * echo-serve: command-line front end of the inference-serving layer
+ * (src/serve).  Loads a checkpoint (model family and hyperparameters
+ * are inferred from the stored tensors), starts a Server, submits the
+ * requests from a file (or a built-in demo set), prints one line per
+ * response, and finishes with the latency/throughput summary.
+ *
+ * Request file format — one request per line:
+ *
+ *     # comment
+ *     12 7 93 5            <- token ids (greedy decode / LM top-k)
+ *     beam=4 12 7 93 5     <- NMT beam search, width 4
+ *     topk=3 12 7 93       <- word LM, report 3 candidates
+ *
+ * --journal=PATH dumps the workspace slot-occupancy journal in the
+ * format `echo-lint --serve-journal=PATH` checks, closing the loop
+ * between the serving layer and the static analyzer.
+ *
+ * Exit status: 0 when every submitted request completed ok, 1 when any
+ * was rejected or produced no payload, 2 on usage errors.
+ *
+ * usage: echo-serve --ckpt=PATH [--requests=FILE] [--slots=N]
+ *                   [--buckets=8,16,32] [--beam=K] [--max-new=N]
+ *                   [--queue=N] [--max-wait-us=N] [--threads=N]
+ *                   [--journal=PATH]
+ */
+#include <fstream>
+#include <future>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/thread_pool.h"
+#include "serve/server.h"
+
+namespace {
+
+using namespace echo;
+
+struct ServeOptions
+{
+    std::string ckpt;
+    std::string requests_path;
+    std::string journal_path;
+    serve::SessionConfig session;
+    serve::ServerConfig server;
+    int64_t max_new_tokens = 16;
+    int threads = 0; // 0 = leave the pool alone
+};
+
+std::vector<int64_t>
+parseBuckets(const std::string &spec)
+{
+    std::vector<int64_t> buckets;
+    std::istringstream fields(spec);
+    std::string item;
+    while (std::getline(fields, item, ','))
+        buckets.push_back(std::stoll(item));
+    return buckets;
+}
+
+bool
+parseArgs(int argc, char **argv, ServeOptions &opts)
+{
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--ckpt=", 0) == 0) {
+            opts.ckpt = arg.substr(7);
+        } else if (arg.rfind("--requests=", 0) == 0) {
+            opts.requests_path = arg.substr(11);
+        } else if (arg.rfind("--journal=", 0) == 0) {
+            opts.journal_path = arg.substr(10);
+        } else if (arg.rfind("--slots=", 0) == 0) {
+            opts.session.slots = std::stoll(arg.substr(8));
+        } else if (arg.rfind("--buckets=", 0) == 0) {
+            opts.session.buckets = parseBuckets(arg.substr(10));
+        } else if (arg.rfind("--beam=", 0) == 0) {
+            opts.session.beam_width = std::stoi(arg.substr(7));
+        } else if (arg.rfind("--max-new=", 0) == 0) {
+            opts.max_new_tokens = std::stoll(arg.substr(10));
+        } else if (arg.rfind("--queue=", 0) == 0) {
+            opts.server.queue_capacity =
+                static_cast<size_t>(std::stoull(arg.substr(8)));
+        } else if (arg.rfind("--max-wait-us=", 0) == 0) {
+            opts.server.max_wait =
+                std::chrono::microseconds(std::stoll(arg.substr(14)));
+        } else if (arg.rfind("--threads=", 0) == 0) {
+            opts.threads = std::stoi(arg.substr(10));
+        } else {
+            std::cerr << "echo-serve: unknown argument " << arg << "\n";
+            return false;
+        }
+    }
+    if (opts.ckpt.empty()) {
+        std::cerr << "echo-serve: --ckpt=PATH is required\n";
+        return false;
+    }
+    return true;
+}
+
+/** Parse the request file (see the file comment for the format). */
+bool
+loadRequests(const std::string &path, int64_t max_new,
+             std::vector<serve::Request> &out)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::cerr << "echo-serve: cannot open " << path << "\n";
+        return false;
+    }
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream fields(line);
+        serve::Request req;
+        req.max_new_tokens = max_new;
+        std::string tok;
+        while (fields >> tok) {
+            if (tok.rfind("beam=", 0) == 0)
+                req.beam_width = std::stoi(tok.substr(5));
+            else if (tok.rfind("topk=", 0) == 0)
+                req.top_k = std::stoi(tok.substr(5));
+            else
+                req.tokens.push_back(std::stoll(tok));
+        }
+        out.push_back(std::move(req));
+    }
+    return true;
+}
+
+/** Fallback when no --requests file is given: a small fixed set of
+ *  short prefixes valid for any vocabulary (ids stay tiny). */
+std::vector<serve::Request>
+demoRequests(int64_t max_new)
+{
+    std::vector<serve::Request> reqs;
+    const std::vector<std::vector<int64_t>> token_sets = {
+        {3, 4, 5}, {6, 7}, {3, 5, 7, 9, 11}, {4, 4, 4, 4}};
+    for (const auto &tokens : token_sets) {
+        serve::Request req;
+        req.tokens = tokens;
+        req.max_new_tokens = max_new;
+        reqs.push_back(std::move(req));
+    }
+    return reqs;
+}
+
+std::string
+formatTokens(const std::vector<int64_t> &tokens)
+{
+    std::ostringstream oss;
+    oss << "[";
+    for (size_t i = 0; i < tokens.size(); ++i)
+        oss << (i == 0 ? "" : " ") << tokens[i];
+    oss << "]";
+    return oss.str();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ServeOptions opts;
+    if (!parseArgs(argc, argv, opts))
+        return 2;
+    if (opts.threads > 0)
+        ThreadPool::setGlobalNumThreads(opts.threads);
+
+    std::vector<serve::Request> requests;
+    if (!opts.requests_path.empty()) {
+        if (!loadRequests(opts.requests_path, opts.max_new_tokens,
+                          requests))
+            return 2;
+    } else {
+        requests = demoRequests(opts.max_new_tokens);
+    }
+    if (requests.empty()) {
+        std::cerr << "echo-serve: no requests to submit\n";
+        return 2;
+    }
+
+    auto session =
+        serve::InferenceSession::fromCheckpoint(opts.ckpt, opts.session);
+    std::cout << "echo-serve: " << session->describe() << "\n";
+
+    serve::Server server(std::move(session), opts.server);
+    std::vector<std::future<serve::Response>> futures;
+    futures.reserve(requests.size());
+    for (serve::Request &req : requests)
+        futures.push_back(server.submit(std::move(req)));
+
+    int failures = 0;
+    for (auto &future : futures) {
+        const serve::Response resp = future.get();
+        if (resp.ok && !resp.tokens.empty()) {
+            std::cout << "id=" << resp.id
+                      << " ok tokens=" << formatTokens(resp.tokens)
+                      << " score="
+                      << (resp.scores.empty() ? 0.0f : resp.scores[0])
+                      << " bucket=" << resp.bucket_len
+                      << " batch=" << resp.batch_requests << "\n";
+        } else {
+            ++failures;
+            std::cout << "id=" << resp.id << " FAILED reason="
+                      << serve::rejectReasonName(resp.reject) << "\n";
+        }
+    }
+    server.stop();
+
+    const serve::ServerStats stats = server.stats();
+    std::cout << "accepted=" << stats.accepted
+              << " rejected=" << stats.rejected
+              << " completed=" << stats.completed
+              << " batches=" << stats.batches << " mean_batch="
+              << stats.mean_batch_requests << "\n"
+              << "latency_us p50=" << stats.latency_p50_us
+              << " p95=" << stats.latency_p95_us
+              << " p99=" << stats.latency_p99_us << "\n";
+
+    if (!opts.journal_path.empty()) {
+        std::ofstream journal(opts.journal_path);
+        journal << "# request_id pool slot acquired released\n";
+        for (const auto &iv : server.session().slotJournal())
+            journal << iv.request_id << " " << iv.pool << " " << iv.slot
+                    << " " << iv.acquired << " " << iv.released << "\n";
+        std::cout << "journal written to " << opts.journal_path << "\n";
+    }
+    return failures == 0 ? 0 : 1;
+}

@@ -8,6 +8,7 @@
  *   $ ./examples/train_word_lm
  */
 #include <cstdio>
+#include <filesystem>
 
 #include "core/logging.h"
 
@@ -91,9 +92,12 @@ main()
                 last.perplexity, curve.front().perplexity);
 
     // Checkpoint the trained parameters and verify the round trip.
-    models::saveParams(params, "word_lm.ckpt");
+    // Checkpoints live under results/ next to the bench outputs, so a
+    // repo checkout never collects stray .ckpt files at its root.
+    std::filesystem::create_directories("results");
+    models::saveParams(params, "results/word_lm.ckpt");
     const models::ParamStore restored =
-        models::loadParams("word_lm.ckpt");
+        models::loadParams("results/word_lm.ckpt");
     const auto check = ex.run(
         model.makeFeed(restored, batcher.next()));
     std::printf("checkpoint round trip OK (loss %.4f from restored "

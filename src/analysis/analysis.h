@@ -14,6 +14,7 @@
 #ifndef ECHO_ANALYSIS_ANALYSIS_H
 #define ECHO_ANALYSIS_ANALYSIS_H
 
+#include "analysis/fusion_audit.h"
 #include "analysis/graph_verifier.h"
 #include "analysis/hazards.h"
 #include "analysis/lifetime.h"

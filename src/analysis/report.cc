@@ -85,6 +85,10 @@ checkName(Check check)
         return "slot-aliasing";
       case Check::kSlotOutOfRange:
         return "slot-out-of-range";
+      case Check::kFusionIllegalGroup:
+        return "fusion-illegal-group";
+      case Check::kFusionValueMismatch:
+        return "fusion-value-mismatch";
     }
     return "?";
 }

@@ -49,6 +49,9 @@ enum class Check {
     // Serving workspace checker.
     kSlotAliasing,   ///< two live requests mapped to one workspace slot
     kSlotOutOfRange, ///< a request mapped outside the slot range
+    // Fusion auditor.
+    kFusionIllegalGroup,  ///< fused group breaks a legality rule
+    kFusionValueMismatch, ///< fused program != original chain (bytes)
 };
 
 /** Stable kebab-case name of a check (diagnostic codes in output). */

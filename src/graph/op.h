@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "graph/ew_program.h"
 #include "tensor/shape.h"
 #include "tensor/tensor.h"
 
@@ -131,6 +132,22 @@ class Op
      * compute-heavy GEMM-class ops is cheap to recompute.
      */
     virtual bool cheapToRecompute() const { return true; }
+
+    /**
+     * Lowering of this op to the element-wise register program
+     * (graph/ew_program.h), or empty when the op is not a pure
+     * same-shape element-wise map — the fusion pass (graph/fusion.h)
+     * only fuses ops that provide one.  Register convention: registers
+     * 0..k-1 are the op's k inputs, every instruction writes a fresh
+     * register starting at k, and the last instruction's destination is
+     * the op's (single) output.  Each instruction must perform exactly
+     * the primitive arithmetic steps of forward(), in the same order,
+     * so fused execution is byte-identical to the unfused kernels.
+     */
+    virtual std::vector<EwInstr> elementwiseLowering() const
+    {
+        return {};
+    }
 };
 
 using OpPtr = std::shared_ptr<Op>;

@@ -64,6 +64,11 @@ class AddOp : public BinarySameShapeOp
         const Val dy = ctx.out_grads[0];
         return {dy, dy};
     }
+
+    std::vector<EwInstr> elementwiseLowering() const override
+    {
+        return {{EwOpcode::kAdd, 2, 0, 1}};
+    }
 };
 
 class SubOp : public BinarySameShapeOp
@@ -86,6 +91,11 @@ class SubOp : public BinarySameShapeOp
             return {Val{}, Val{}};
         const Val db = ctx.graph->apply1(neg(), {dy});
         return {dy, db};
+    }
+
+    std::vector<EwInstr> elementwiseLowering() const override
+    {
+        return {{EwOpcode::kSub, 2, 0, 1}};
     }
 };
 
@@ -113,6 +123,11 @@ class MulOp : public BinarySameShapeOp
             ctx.graph->apply1(mul(), {dy, ctx.node->inputs[0]});
         return {da, db};
     }
+
+    std::vector<EwInstr> elementwiseLowering() const override
+    {
+        return {{EwOpcode::kMul, 2, 0, 1}};
+    }
 };
 
 // ----------------------------------------------------------------------
@@ -139,6 +154,11 @@ class NegOp : public UnaryShapeOp
             return {Val{}};
         return {ctx.graph->apply1(neg(), {dy})};
     }
+
+    std::vector<EwInstr> elementwiseLowering() const override
+    {
+        return {{EwOpcode::kNeg, 1, 0}};
+    }
 };
 
 class ScaleOp : public UnaryShapeOp
@@ -162,6 +182,11 @@ class ScaleOp : public UnaryShapeOp
         if (!dy.defined())
             return {Val{}};
         return {ctx.graph->apply1(scale(s_), {dy})};
+    }
+
+    std::vector<EwInstr> elementwiseLowering() const override
+    {
+        return {{EwOpcode::kMulScalar, 1, 0, -1, s_}};
     }
 
   private:
@@ -190,6 +215,11 @@ class TanhOp : public UnaryShapeOp
         // frameworks: y' = 1 - tanh(x)^2 = 1 - y^2.
         return {ctx.graph->apply1(tanhGrad(), {dy, ctx.node->out(0)})};
     }
+
+    std::vector<EwInstr> elementwiseLowering() const override
+    {
+        return {{EwOpcode::kTanh, 1, 0}};
+    }
 };
 
 class SigmoidOp : public UnaryShapeOp
@@ -213,6 +243,11 @@ class SigmoidOp : public UnaryShapeOp
         return {
             ctx.graph->apply1(sigmoidGrad(), {dy, ctx.node->out(0)})};
     }
+
+    std::vector<EwInstr> elementwiseLowering() const override
+    {
+        return {{EwOpcode::kSigmoid, 1, 0}};
+    }
 };
 
 class ReluOp : public UnaryShapeOp
@@ -234,6 +269,11 @@ class ReluOp : public UnaryShapeOp
         if (!dy.defined())
             return {Val{}};
         return {ctx.graph->apply1(reluGrad(), {dy, ctx.node->out(0)})};
+    }
+
+    std::vector<EwInstr> elementwiseLowering() const override
+    {
+        return {{EwOpcode::kRelu, 1, 0}};
     }
 };
 
@@ -269,6 +309,15 @@ class TanhGradOp : public ActGradOp
             ops::addScalar(ops::negate(ops::square(in[1])), 1.0f);
         out[0] = ops::mul(in[0], one_minus_y2);
     }
+
+    // Same primitive steps as forward(): square, negate, +1, multiply.
+    std::vector<EwInstr> elementwiseLowering() const override
+    {
+        return {{EwOpcode::kSquare, 2, 1},
+                {EwOpcode::kNeg, 3, 2},
+                {EwOpcode::kAddScalar, 4, 3, -1, 1.0f},
+                {EwOpcode::kMul, 5, 0, 4}};
+    }
 };
 
 class SigmoidGradOp : public ActGradOp
@@ -283,6 +332,14 @@ class SigmoidGradOp : public ActGradOp
         const Tensor y_one_minus_y =
             ops::mul(in[1], ops::addScalar(ops::negate(in[1]), 1.0f));
         out[0] = ops::mul(in[0], y_one_minus_y);
+    }
+
+    std::vector<EwInstr> elementwiseLowering() const override
+    {
+        return {{EwOpcode::kNeg, 2, 1},
+                {EwOpcode::kAddScalar, 3, 2, -1, 1.0f},
+                {EwOpcode::kMul, 4, 1, 3},
+                {EwOpcode::kMul, 5, 0, 4}};
     }
 };
 
@@ -299,6 +356,12 @@ class ReluGradOp : public ActGradOp
         for (int64_t i = 0; i < in[1].numel(); ++i)
             mask.data()[i] = in[1].data()[i] > 0.0f ? 1.0f : 0.0f;
         out[0] = ops::mul(in[0], mask);
+    }
+
+    std::vector<EwInstr> elementwiseLowering() const override
+    {
+        return {{EwOpcode::kGtZeroMask, 2, 1},
+                {EwOpcode::kMul, 3, 0, 2}};
     }
 };
 

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * FusedElementwiseOp: one graph node that evaluates a whole
+ * single-consumer element-wise chain (compiled by graph/fusion.h into
+ * an EwInstr register program) in a single parallel pass over the data.
+ *
+ * Interior values of the chain live in small per-block register
+ * buffers, never in planned tensor allocations — that is the fusion
+ * pass's whole memory and bandwidth win.  Execution is byte-identical
+ * to running the original ops node-by-node: every element is produced
+ * by the same primitive arithmetic steps in the same order, and the
+ * block/chunk decomposition only decides which thread computes an
+ * element, never what it is computed from.
+ */
+#ifndef ECHO_GRAPH_OPS_OP_FUSED_ELEMENTWISE_H
+#define ECHO_GRAPH_OPS_OP_FUSED_ELEMENTWISE_H
+
+#include <string>
+#include <vector>
+
+#include "graph/op.h"
+
+namespace echo::graph::oplib {
+
+/** Everything a fused node needs to execute and be audited. */
+struct FusedElementwiseSpec
+{
+    /** Arity of the fused node (registers 0..num_inputs-1). */
+    int num_inputs = 0;
+    /** Total registers the program touches (inputs + one per instr). */
+    int num_regs = 0;
+    /** Register holding the result (== program.back().dst). */
+    int out_reg = -1;
+    /** Straight-line single-assignment instruction list. */
+    std::vector<EwInstr> program;
+    /** Original op names in execution order, e.g. "mul,mul,add". */
+    std::string fused_ops;
+};
+
+/**
+ * The fused op.  Exposed as a class (unlike the oplib factories) so
+ * the fusion pass and analysis::auditFusion can read the spec back off
+ * a rewritten node.
+ */
+class FusedElementwiseOp : public Op
+{
+  public:
+    explicit FusedElementwiseOp(FusedElementwiseSpec spec);
+
+    std::string name() const override { return "fused_ew"; }
+
+    std::vector<Shape>
+    inferShapes(const std::vector<Shape> &in) const override;
+
+    void forward(const std::vector<Tensor> &in,
+                 std::vector<Tensor> &out) const override;
+
+    /** Fusion runs after autodiff; there is nothing to differentiate. */
+    std::vector<Val> buildGradient(GradContext &ctx) const override;
+
+    /** One fused launch: all the chain's flops, frontier-only traffic. */
+    std::vector<KernelDesc>
+    kernels(const std::vector<Shape> &in,
+            const std::vector<Shape> &out) const override;
+
+    /** A fused node is itself a valid (cheap) fused program. */
+    std::vector<EwInstr> elementwiseLowering() const override
+    {
+        return program_lowering_;
+    }
+
+    const FusedElementwiseSpec &spec() const { return spec_; }
+
+    /** Canonical program text (value-equality metadata for audits). */
+    const std::string &signature() const { return signature_; }
+
+  private:
+    FusedElementwiseSpec spec_;
+    std::string signature_;
+    std::vector<EwInstr> program_lowering_;
+};
+
+/** Factory; validates the spec (single assignment, operand bounds). */
+OpPtr fusedElementwise(FusedElementwiseSpec spec);
+
+} // namespace echo::graph::oplib
+
+#endif // ECHO_GRAPH_OPS_OP_FUSED_ELEMENTWISE_H

@@ -213,6 +213,7 @@ NmtDecoder::NmtDecoder(const NmtConfig &config, int64_t batch,
             buildEncoder(g, d.enc_src, cfg, d.enc_weights, attn);
         d.enc_hs = enc.hs;
         d.enc_keys = enc.keys;
+        fusion::fuseIfEnabled(g, {enc.hs, enc.keys});
         d.enc_exec = std::make_unique<graph::Executor>(
             std::vector<Val>{enc.hs, enc.keys}, mode);
     }
@@ -254,6 +255,8 @@ NmtDecoder::NmtDecoder(const NmtConfig &config, int64_t batch,
         d.st_h_out = so.state.h;
         d.st_c_out = so.state.c;
         d.st_attn_out = so.attn_hidden;
+        fusion::fuseIfEnabled(g, {d.st_logits, d.st_h_out, d.st_c_out,
+                                  d.st_attn_out});
         d.step_exec = std::make_unique<graph::Executor>(
             std::vector<Val>{d.st_logits, d.st_h_out, d.st_c_out,
                              d.st_attn_out},
@@ -390,6 +393,10 @@ NmtModel::NmtModel(const NmtConfig &config)
     fetches_ = {loss_};
     fetches_.insert(fetches_.end(), weight_grads_.begin(),
                     weight_grads_.end());
+
+    // Fuse element-wise chains after autodiff so forward and backward
+    // chains both shrink; byte-identical by the fusion contract.
+    fusion_ = fusion::fuseIfEnabled(g, fetches_);
 }
 
 NmtModel::~NmtModel() = default;

@@ -19,6 +19,7 @@
 #include <memory>
 
 #include "data/batcher.h"
+#include "graph/fusion.h"
 #include "models/attention.h"
 #include "models/params.h"
 #include "rnn/stack.h"
@@ -130,6 +131,13 @@ class NmtModel
     const graph::Val &loss() const { return loss_; }
     const NamedWeights &weights() const { return weights_; }
 
+    /** What the element-wise fusion pass did to this graph (empty when
+     *  ECHO_FUSION=0); echo-lint feeds this to analysis::auditFusion. */
+    const fusion::FusionResult &fusionResult() const
+    {
+        return fusion_;
+    }
+
     ParamStore initialParams(Rng &rng) const;
 
     graph::FeedDict makeFeed(const ParamStore &params,
@@ -150,6 +158,7 @@ class NmtModel
     NamedWeights weights_;
     std::vector<graph::Val> weight_grads_;
     std::vector<graph::Val> fetches_;
+    fusion::FusionResult fusion_;
     mutable std::unique_ptr<NmtDecoder> decode_; // built lazily
 };
 

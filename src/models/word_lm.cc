@@ -85,6 +85,10 @@ WordLmModel::WordLmModel(const WordLmConfig &config)
     fetches_ = {loss_};
     fetches_.insert(fetches_.end(), weight_grads_.begin(),
                     weight_grads_.end());
+
+    // Fuse element-wise chains after autodiff so forward and backward
+    // chains both shrink; byte-identical by the fusion contract.
+    fusion_ = fusion::fuseIfEnabled(g, fetches_);
 }
 
 ParamStore
@@ -175,6 +179,7 @@ WordLmStepper::WordLmStepper(const WordLmConfig &config, int64_t batch,
     std::vector<Val> fetches{d.logits};
     fetches.insert(fetches.end(), d.h_out.begin(), d.h_out.end());
     fetches.insert(fetches.end(), d.c_out.begin(), d.c_out.end());
+    fusion::fuseIfEnabled(g, fetches);
     d.exec = std::make_unique<graph::Executor>(std::move(fetches),
                                                mode);
 }

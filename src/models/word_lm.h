@@ -9,6 +9,7 @@
 #define ECHO_MODELS_WORD_LM_H
 
 #include "data/batcher.h"
+#include "graph/fusion.h"
 #include "models/params.h"
 #include "rnn/stack.h"
 
@@ -43,6 +44,13 @@ class WordLmModel
     const graph::Val &loss() const { return loss_; }
     const NamedWeights &weights() const { return weights_; }
 
+    /** What the element-wise fusion pass did to this graph (empty when
+     *  ECHO_FUSION=0); echo-lint feeds this to analysis::auditFusion. */
+    const fusion::FusionResult &fusionResult() const
+    {
+        return fusion_;
+    }
+
     /** Initialize a fresh parameter store. */
     ParamStore initialParams(Rng &rng) const;
 
@@ -57,6 +65,7 @@ class WordLmModel
     NamedWeights weights_;
     std::vector<graph::Val> weight_grads_;
     std::vector<graph::Val> fetches_;
+    fusion::FusionResult fusion_;
 };
 
 /**

@@ -25,10 +25,12 @@
 #include <string>
 
 #include "core/rng.h"
+#include "core/thread_pool.h"
 #include "echo/recompute_pass.h"
 #include "analysis/numeric_verify.h"
 #include "graph/autodiff.h"
 #include "graph/executor.h"
+#include "graph/fusion.h"
 #include "graph/ops/oplib.h"
 #include "memory/planner.h"
 #include "obs/memory_timeline.h"
@@ -199,6 +201,45 @@ TEST_P(PassFuzz, RewriteIsBitExactOnRandomGraphs)
         EXPECT_EQ(vr.max_abs_diff, 0.0)
             << repro(seed) << " fuse=" << fuse;
     }
+}
+
+TEST_P(PassFuzz, FusionIsByteExactAcrossThreadCounts)
+{
+    const uint64_t seed = GetParam();
+    RandomModel baseline, fused;
+    baseline.build(seed, 24);
+    fused.build(seed, 24);
+
+    const fusion::FusionResult fr =
+        fusion::runFusionPass(*fused.g, fused.fetches);
+
+    graph::Executor ex_a(baseline.fetches);
+    graph::Executor ex_b(fused.fetches);
+    std::vector<Tensor> ref;
+    for (const int threads : {1, 2, 4}) {
+        ThreadPool::setGlobalNumThreads(threads);
+        const auto out_a = ex_a.run(baseline.feed(seed * 17 + 3));
+        const auto out_b = ex_b.run(fused.feed(seed * 17 + 3));
+        const analysis::VerifyResult vr =
+            analysis::compareFetches(out_a, out_b);
+        EXPECT_TRUE(vr.shapes_match)
+            << repro(seed) << " threads=" << threads;
+        // Loss AND every weight gradient, bit for bit: fusion may
+        // never change a single output bit at any thread count.
+        EXPECT_EQ(vr.max_abs_diff, 0.0)
+            << repro(seed) << " threads=" << threads << " ("
+            << fr.num_groups << " fused groups)";
+        if (ref.empty()) {
+            ref = out_b;
+        } else {
+            const analysis::VerifyResult across =
+                analysis::compareFetches(ref, out_b);
+            EXPECT_EQ(across.max_abs_diff, 0.0)
+                << repro(seed) << ": fused outputs differ between 1 "
+                << "and " << threads << " threads";
+        }
+    }
+    ThreadPool::setGlobalNumThreads(ThreadPool::defaultNumThreads());
 }
 
 TEST_P(PassFuzz, NeverRecomputesGemms)

@@ -57,6 +57,9 @@ struct LintSubject
     /** Set when the Echo pass ran on this graph. */
     const analysis::GraphSnapshot *snapshot = nullptr;
     const pass::PassResult *pass_result = nullptr;
+    /** Set when the element-wise fusion pass ran on this graph (and
+     *  the recompute pass has not rewritten its frontiers since). */
+    const fusion::FusionResult *fusion = nullptr;
 };
 
 int
@@ -70,6 +73,9 @@ lintOne(const LintSubject &subject, const LintOptions &opts,
             *subject.snapshot, *subject.graph, subject.fetches,
             subject.weight_grads, *subject.pass_result));
     }
+    if (subject.fusion != nullptr)
+        report.merge(
+            analysis::auditFusion(subject.fetches, *subject.fusion));
 
     std::cout << "== " << subject.title << ": ";
     if (report.diagnostics.empty()) {
@@ -106,10 +112,16 @@ lintModel(Model &model, const std::string &title,
     int failures = 0;
 
     LintSubject base;
-    base.title = title + " (pass off)";
+    base.title = title + " (pass off, " +
+                 std::to_string(model.fusionResult().num_groups) +
+                 " fused groups)";
     base.graph = &model.graph();
     base.fetches = model.fetches();
     base.weight_grads = model.weightGrads();
+    // The fusion audit replays the journalled groups against the
+    // orphaned originals, so it must run before the recompute pass
+    // redirects any fused frontier to a recomputed clone.
+    base.fusion = &model.fusionResult();
     if (opts.policy == "off" || opts.policy == "all")
         failures += lintOne(base, opts, dot_written);
 
@@ -127,6 +139,10 @@ lintModel(Model &model, const std::string &title,
                           " regions)";
         rewritten.snapshot = &snapshot;
         rewritten.pass_result = &result;
+        // The recompute pass may redirect a fused sink's frontier to
+        // recomputed clones, so the frontier-intact audit only holds
+        // on the pre-pass graph.
+        rewritten.fusion = nullptr;
         failures += lintOne(rewritten, opts, dot_written);
     }
     return failures;

@@ -76,6 +76,64 @@ BM_GemmTT(benchmark::State &state)
 }
 BENCHMARK(BM_GemmTT)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
 
+/**
+ * Rectangular real-workload shapes (the square sweep above hides the
+ * skew that dominates LSTM serving and training): the word-LM vocab
+ * projection, the single-slot per-step decode, the beam-widened
+ * decode, and the K-skewed weight gradient — each under all four
+ * transpose combinations.  Args are {M, N, K}.
+ */
+void
+gemmWorkloadBench(benchmark::State &state, bool ta, bool tb)
+{
+    const int64_t m = state.range(0);
+    const int64_t n = state.range(1);
+    const int64_t k = state.range(2);
+    Rng rng(1);
+    const Tensor a =
+        Tensor::uniform(ta ? Shape({k, m}) : Shape({m, k}), rng);
+    const Tensor b =
+        Tensor::uniform(tb ? Shape({n, k}) : Shape({k, n}), rng);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(ops::gemm(a, ta, b, tb));
+    }
+    state.SetItemsProcessed(state.iterations() * 2 * m * n * k);
+}
+
+#define ECHO_GEMM_WORKLOAD_SHAPES                                       \
+    ->Args({32, 10000, 650}) /* vocab projection  */                    \
+        ->Args({1, 2600, 650}) /* per-step decode */                    \
+        ->Args({8, 2600, 650}) /* beam-widened decode */                \
+        ->Args({2600, 650, 1120}) /* weight grad (K-skewed) */
+
+void
+BM_GemmWorkloadNN(benchmark::State &state)
+{
+    gemmWorkloadBench(state, false, false);
+}
+BENCHMARK(BM_GemmWorkloadNN) ECHO_GEMM_WORKLOAD_SHAPES;
+
+void
+BM_GemmWorkloadNT(benchmark::State &state)
+{
+    gemmWorkloadBench(state, false, true);
+}
+BENCHMARK(BM_GemmWorkloadNT) ECHO_GEMM_WORKLOAD_SHAPES;
+
+void
+BM_GemmWorkloadTN(benchmark::State &state)
+{
+    gemmWorkloadBench(state, true, false);
+}
+BENCHMARK(BM_GemmWorkloadTN) ECHO_GEMM_WORKLOAD_SHAPES;
+
+void
+BM_GemmWorkloadTT(benchmark::State &state)
+{
+    gemmWorkloadBench(state, true, true);
+}
+BENCHMARK(BM_GemmWorkloadTT) ECHO_GEMM_WORKLOAD_SHAPES;
+
 /** The naive triple-loop kernel the blocked GEMM replaced. */
 void
 BM_GemmReferenceNN(benchmark::State &state)

@@ -7,8 +7,10 @@
 
 #include "core/logging.h"
 #include "core/thread_pool.h"
+#include "graph/gemm_keys.h"
 #include "obs/counters.h"
 #include "obs/trace.h"
+#include "tune/tuner.h"
 
 namespace echo::graph {
 
@@ -83,6 +85,17 @@ Executor::Executor(std::vector<Val> fetches, ExecMode mode)
         ECHO_CHECK(it != slot_of.end(), "fetch missing from schedule");
         fetch_slots_.push_back(it->second);
         ++use_counts_[static_cast<size_t>(it->second)];
+    }
+
+    // Shape-specialized GEMM tuning: wire the cache-backed schedule
+    // registry (and, under ECHO_TUNE=search, the search-on-miss
+    // resolver), then resolve this schedule's GEMM shape set eagerly so
+    // searches run at construction time, not mid-iteration.
+    if (ops::tuneMode() != ops::TuneMode::kOff) {
+        tune::ensureGlobalTuner();
+        if (ops::tuneMode() == ops::TuneMode::kSearch)
+            tune::globalTuner().warmKeys(collectGemmKeys(
+                schedule_, ThreadPool::global().numThreads()));
     }
 }
 

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * GEMM shape-set extraction (see header).
+ */
+#include "graph/gemm_keys.h"
+
+#include <unordered_set>
+
+namespace echo::graph {
+
+std::vector<ops::GemmKey>
+collectGemmKeys(const std::vector<Node *> &schedule, int threads)
+{
+    std::vector<ops::GemmKey> keys;
+    std::unordered_set<ops::GemmKey, ops::GemmKeyHash> seen;
+    for (const Node *n : schedule) {
+        if (n->kind != NodeKind::kOp)
+            continue;
+        std::vector<Shape> in_shapes;
+        in_shapes.reserve(n->inputs.size());
+        for (const Val &v : n->inputs)
+            in_shapes.push_back(Graph::shapeOf(v));
+        for (const KernelDesc &k :
+             n->op->kernels(in_shapes, n->out_shapes)) {
+            if (!k.is_gemm || k.gemm_m < 1 || k.gemm_n < 1 ||
+                k.gemm_k < 1)
+                continue;
+            const ops::GemmKey key{k.gemm_m,       k.gemm_n,
+                                   k.gemm_k,       k.gemm_trans_a,
+                                   k.gemm_trans_b, threads};
+            if (seen.insert(key).second)
+                keys.push_back(key);
+        }
+    }
+    return keys;
+}
+
+} // namespace echo::graph

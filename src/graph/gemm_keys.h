@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Extraction of a graph's GEMM shape set.
+ *
+ * A scheduled graph names every matrix multiply it will launch, so the
+ * autotuner can warm its cache for exactly those shapes before the
+ * first run instead of tuning on first miss mid-iteration.  The keys
+ * come from the ops' KernelDesc geometry (gemm_m/n/k plus the operand
+ * transposes); a bmm contributes the geometry of its per-item slices,
+ * which is the shape the kernel resolves schedules for.
+ */
+#ifndef ECHO_GRAPH_GEMM_KEYS_H
+#define ECHO_GRAPH_GEMM_KEYS_H
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "tensor/gemm_schedule.h"
+
+namespace echo::graph {
+
+/**
+ * The distinct GEMM keys the nodes of @p schedule will launch, with
+ * @p threads recorded as the key's thread-count dimension (pass the
+ * global pool's count).  Order follows first appearance.
+ */
+std::vector<ops::GemmKey>
+collectGemmKeys(const std::vector<Node *> &schedule, int threads);
+
+} // namespace echo::graph
+
+#endif // ECHO_GRAPH_GEMM_KEYS_H

@@ -76,6 +76,10 @@ struct KernelDesc
     int64_t gemm_m = 0;
     int64_t gemm_n = 0;
     int64_t gemm_k = 0;
+    /** Operand transposes (valid when is_gemm) — together with the
+     *  geometry these form the autotuner's shape key. */
+    bool gemm_trans_a = false;
+    bool gemm_trans_b = false;
     /** True when the kernel's global-memory access pattern is fully
      *  coalesced (the paper's parallel SequenceReverse vs the
      *  batch-sequential MXNet implementation). */

@@ -90,6 +90,8 @@ class GemmOp : public Op
         k.gemm_m = out[0][0];
         k.gemm_n = out[0][1];
         k.gemm_k = trans_a_ ? in[0][0] : in[0][1];
+        k.gemm_trans_a = trans_a_;
+        k.gemm_trans_b = trans_b_;
         k.flops = 2 * k.gemm_m * k.gemm_n * k.gemm_k;
         k.bytes_read = (in[0].numel() + in[1].numel()) * 4;
         k.bytes_written = out[0].numel() * 4;
@@ -170,6 +172,8 @@ class BmmOp : public Op
         k.gemm_m = out[0][1];
         k.gemm_n = out[0][2];
         k.gemm_k = trans_a_ ? in[0][1] : in[0][2];
+        k.gemm_trans_a = trans_a_;
+        k.gemm_trans_b = trans_b_;
         // One batched launch doing `batch` independent GEMMs.
         k.flops = 2 * batch * k.gemm_m * k.gemm_n * k.gemm_k;
         k.bytes_read = (in[0].numel() + in[1].numel()) * 4;

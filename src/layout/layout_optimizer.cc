@@ -1,5 +1,7 @@
 #include "layout/layout_optimizer.h"
 
+#include "core/thread_pool.h"
+
 namespace echo::layout {
 
 const char *
@@ -22,6 +24,32 @@ chooseLayout(const rnn::LstmSpec &spec, const gpusim::GpuSpec &gpu)
         gpusim::estimateGemm(
             {4 * spec.hidden, spec.batch, spec.hidden}, gpu)
             .time_us;
+    d.layout = d.thb_time_us < d.tbh_time_us ? RnnLayout::kTHB
+                                             : RnnLayout::kTBH;
+    return d;
+}
+
+LayoutDecision
+chooseLayoutTuned(const rnn::LstmSpec &spec, tune::Autotuner &tuner,
+                  int threads)
+{
+    if (threads <= 0)
+        threads = ThreadPool::global().numThreads();
+    // The two forms of the recurrent projection, as in chooseLayout():
+    // batch-major multiplies [B x H] by W^T (N-transposed weights);
+    // the transposed form multiplies [4H x H] W by X^T.
+    const ops::GemmKey tbh{spec.batch, 4 * spec.hidden, spec.hidden,
+                           /*trans_a=*/false, /*trans_b=*/true,
+                           threads};
+    const ops::GemmKey thb{4 * spec.hidden, spec.batch, spec.hidden,
+                           /*trans_a=*/false, /*trans_b=*/true,
+                           threads};
+    const tune::TuneOutcome tbh_tuned = tuner.tuneKey(tbh);
+    const tune::TuneOutcome thb_tuned = tuner.tuneKey(thb);
+
+    LayoutDecision d;
+    d.tbh_time_us = tbh_tuned.best_seconds * 1e6;
+    d.thb_time_us = thb_tuned.best_seconds * 1e6;
     d.layout = d.thb_time_us < d.tbh_time_us ? RnnLayout::kTHB
                                              : RnnLayout::kTBH;
     return d;

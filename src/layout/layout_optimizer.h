@@ -15,6 +15,7 @@
 
 #include "gpusim/gemm_model.h"
 #include "rnn/rnn_config.h"
+#include "tune/tuner.h"
 
 namespace echo::layout {
 
@@ -42,6 +43,20 @@ struct LayoutDecision
  */
 LayoutDecision chooseLayout(const rnn::LstmSpec &spec,
                             const gpusim::GpuSpec &gpu);
+
+/**
+ * The same binary decision folded into the GEMM autotuner: each form's
+ * representative projection is first tuned (so both layouts compete at
+ * their best schedule, not at the fixed default) and then the layouts
+ * are compared on their tuned MEASURED times rather than the
+ * analytical model.  The tuned schedules land in the registry and the
+ * tuner's cache like any other search, so the chosen layout's
+ * projection runs tuned from its first real call.  Times are the
+ * medians in microseconds, mirroring LayoutDecision's units.
+ */
+LayoutDecision chooseLayoutTuned(const rnn::LstmSpec &spec,
+                                 tune::Autotuner &tuner,
+                                 int threads = 0);
 
 } // namespace echo::layout
 

@@ -9,6 +9,7 @@
 #include "models/serialize.h"
 #include "obs/trace.h"
 #include "serve/beam.h"
+#include "tune/tuner.h"
 
 namespace echo::serve {
 
@@ -157,6 +158,14 @@ std::unique_ptr<InferenceSession>
 InferenceSession::fromCheckpoint(const std::string &path,
                                  const SessionConfig &config)
 {
+    // Load the GEMM tuning cache (and install search-on-miss under
+    // ECHO_TUNE=search) before any stepper builds its executors, so
+    // the step graphs' per-token GEMMs run tuned from the first
+    // request — serving is exactly the workload whose skewed shapes
+    // (M = a few in-flight slots, N = vocab) the fixed schedule
+    // handles worst.
+    tune::ensureGlobalTuner();
+
     ParamStore params = models::loadParams(path);
     if (params.count("src_embedding.table")) {
         models::NmtConfig mcfg = inferNmtConfig(params, path);

@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "tensor/gemm_schedule.h"
 #include "tensor/tensor.h"
 
 namespace echo::ops {
@@ -28,9 +29,21 @@ namespace echo::ops {
 /**
  * General matrix multiply: C = alpha * op(A) * op(B), where op() is an
  * optional transpose.  A is [M x K] after op, B is [K x N] after op.
+ * Runs under the schedule the tuner registered for this geometry (see
+ * tensor/gemm_schedule.h), falling back to the fixed default.
  */
 Tensor gemm(const Tensor &a, bool trans_a, const Tensor &b, bool trans_b,
             float alpha = 1.0f);
+
+/**
+ * gemm() under an explicit schedule, bypassing the tuned registry —
+ * the tuner's measurement harness and the schedule tests use this.
+ * Dies if @p schedule is illegal for the operand layout.  Results are
+ * byte-identical to gemmReference() for every legal schedule.
+ */
+Tensor gemmWithSchedule(const Tensor &a, bool trans_a, const Tensor &b,
+                        bool trans_b, float alpha,
+                        const GemmSchedule &schedule);
 
 /**
  * Naive triple-loop GEMM kept as the golden reference for the blocked
@@ -46,6 +59,10 @@ Tensor gemmReference(const Tensor &a, bool trans_a, const Tensor &b,
  * C[b] = op(A[b]) * op(B[b]) for 3-D A, B.
  */
 Tensor bmm(const Tensor &a, bool trans_a, const Tensor &b, bool trans_b);
+
+/** bmm() under an explicit schedule (batch_parallel picks the axis). */
+Tensor bmmWithSchedule(const Tensor &a, bool trans_a, const Tensor &b,
+                       bool trans_b, const GemmSchedule &schedule);
 
 /** Outer product of two vectors: [M] x [N] -> [M x N]. */
 Tensor outer(const Tensor &u, const Tensor &v);

@@ -1,38 +1,51 @@
 /**
  * @file
- * Cache-blocked, panel-packed, register-tiled GEMM.
+ * Cache-blocked, panel-packed, register-tiled GEMM, parameterized by a
+ * GemmSchedule (see tensor/gemm_schedule.h).
  *
- * The kernel follows the classic GotoBLAS/BLIS decomposition:
+ * The kernel follows the classic GotoBLAS/BLIS decomposition; with the
+ * default N-outer order and packed B:
  *
- *   for jc over N in kNc columns:          (B panel fits L2/L3)
- *     for pc over K in kKc depth:          (packed panels fit cache)
- *       pack B[pc:pc+kc, jc:jc+nc] into kNr-wide column micro-panels
- *       parallel for ic over M in kMc rows:  (one row block per task)
- *         pack alpha*A[ic:ic+mc, pc:pc+kc] into kMr-tall row panels
- *         for each kMr x kNr tile: micro-kernel over the packed panels
+ *   for jc over N in nc columns:           (B panel fits L2/L3)
+ *     for pc over K in kc depth:           (packed panels fit cache)
+ *       pack B[pc:pc+kc, jc:jc+nc] into nr-wide column micro-panels
+ *       for ic over M in mc rows:          (optionally parallel)
+ *         pack alpha*A[ic:ic+mc, pc:pc+kc] into mr-tall row panels
+ *         for each mr x nr tile: micro-kernel over the panels
  *
- * All four transpose combinations route through the same micro-kernel —
- * the transposes are absorbed by the packing loops, so the hot loop is
- * always unit-stride regardless of operand layout.  bmm() reuses the
- * same kernel per batch item (parallel over the batch instead of over
- * row blocks when the batch is large enough).
+ * What the schedule varies: the blocking (mc/kc/nc), the micro-tile
+ * (mr x nr from the compiled legal set), the macro loop order (N-outer
+ * vs K-outer), whether B is packed or read in place (kDirect — a big
+ * win for tiny-M shapes where packing all of B dwarfs the madds), the
+ * parallel dimension (row blocks, column blocks for skewed N, or
+ * none), and the serial/parallel madds threshold.  All four transpose
+ * combinations still route through the same micro-kernels — the
+ * transposes are absorbed by the packing loops (which is why kDirect
+ * requires a non-transposed B).
  *
- * Determinism contract: C is accumulated over pc panels in a fixed
- * serial order and each C element is produced by exactly one row-block
- * task, so results are byte-identical for every thread count and
- * parallelFor chunking.  There is deliberately no data-dependent
- * skipping (the seed kernel's `if (av == 0) continue;` made GEMM cost
- * input-dependent and mispredicted in the hot loop).
+ * Determinism and bitwise contract: the micro-kernel LOADS the current
+ * C tile into its accumulator before the depth loop and stores it back
+ * after, so each C element is one serial sum over K in ascending
+ * order — the exact chain of float operations gemmReference() performs.
+ * Results are therefore byte-identical to the reference for EVERY
+ * legal schedule, every thread count, and every parallelFor chunking
+ * (each C element is still produced by exactly one task).  There is
+ * deliberately no data-dependent skipping (the seed kernel's
+ * `if (av == 0) continue;` made GEMM cost input-dependent).
  *
- * gemmReference() keeps the plain ikj loop as the golden model for
- * tests and the threaded-vs-seed benchmark comparison.
+ * gemmReference() keeps the plain ikj loop as the golden model: tests
+ * byte-compare every schedule against it, and the tuner refuses to
+ * cache a schedule that does not match it bitwise.
  */
 #include <algorithm>
+#include <cmath>
 #include <cstring>
+#include <utility>
 #include <vector>
 
 #include "core/logging.h"
 #include "core/thread_pool.h"
+#include "tensor/gemm_schedule.h"
 #include "tensor/ops.h"
 
 #if defined(__GNUC__) || defined(__clang__)
@@ -44,20 +57,6 @@
 namespace echo::ops {
 
 namespace {
-
-// Blocking parameters (floats): kMc*kKc = 64 KiB A block, kKc*kNc =
-// 512 KiB B panel — sized for a ~1 MiB-per-core L2.  The micro-tile is
-// kMr x kNr = 8 x 16 accumulators, which the compiler keeps in vector
-// registers (eight 512-bit rows; needs -mprefer-vector-width=512 on
-// AVX-512 hosts so the tile does not spill).
-constexpr int64_t kMc = 64;
-constexpr int64_t kKc = 256;
-constexpr int64_t kNc = 512;
-constexpr int64_t kMr = 8;
-constexpr int64_t kNr = 16;
-
-/** Only products with at least this many madds go multi-threaded. */
-constexpr int64_t kParallelMinMadds = int64_t(1) << 17;
 
 /** Logical element A'[i, p] of the [M x K] operand (A' = a or aᵀ). */
 inline float
@@ -76,18 +75,19 @@ elemB(const float *b, bool trans_b, int64_t k, int64_t n, int64_t p,
 }
 
 /**
- * Pack alpha * A'[ic:ic+mc, pc:pc+kc] into kMr-tall row micro-panels:
- * panel r holds rows [r*kMr, r*kMr+kMr) depth-major, short tail rows
+ * Pack alpha * A'[ic:ic+mc, pc:pc+kc] into mr-tall row micro-panels:
+ * panel r holds rows [r*mr, r*mr+mr) depth-major, short tail rows
  * zero-padded so the micro-kernel never branches on the row count.
  */
 void
 packA(const float *a, bool trans_a, int64_t m, int64_t k, int64_t ic,
-      int64_t mc, int64_t pc, int64_t kc, float alpha, float *dst)
+      int64_t mc, int64_t pc, int64_t kc, float alpha, float *dst,
+      int64_t mr)
 {
-    for (int64_t ir = 0; ir < mc; ir += kMr) {
-        const int64_t h = std::min(kMr, mc - ir);
+    for (int64_t ir = 0; ir < mc; ir += mr) {
+        const int64_t h = std::min(mr, mc - ir);
         for (int64_t p = 0; p < kc; ++p) {
-            for (int64_t i = 0; i < kMr; ++i) {
+            for (int64_t i = 0; i < mr; ++i) {
                 *dst++ = i < h ? alpha * elemA(a, trans_a, m, k,
                                                ic + ir + i, pc + p)
                                : 0.0f;
@@ -97,17 +97,17 @@ packA(const float *a, bool trans_a, int64_t m, int64_t k, int64_t ic,
 }
 
 /**
- * Pack B'[pc:pc+kc, jc:jc+nc] into kNr-wide column micro-panels with
+ * Pack B'[pc:pc+kc, jc:jc+nc] into nr-wide column micro-panels with
  * zero-padded tail columns.
  */
 void
 packB(const float *b, bool trans_b, int64_t k, int64_t n, int64_t pc,
-      int64_t kc, int64_t jc, int64_t nc, float *dst)
+      int64_t kc, int64_t jc, int64_t nc, float *dst, int64_t nr)
 {
-    for (int64_t jr = 0; jr < nc; jr += kNr) {
-        const int64_t w = std::min(kNr, nc - jr);
+    for (int64_t jr = 0; jr < nc; jr += nr) {
+        const int64_t w = std::min(nr, nc - jr);
         for (int64_t p = 0; p < kc; ++p) {
-            for (int64_t j = 0; j < kNr; ++j) {
+            for (int64_t j = 0; j < nr; ++j) {
                 *dst++ = j < w ? elemB(b, trans_b, k, n, pc + p,
                                        jc + jr + j)
                                : 0.0f;
@@ -117,107 +117,279 @@ packB(const float *b, bool trans_b, int64_t k, int64_t n, int64_t pc,
 }
 
 /**
- * C[0:h, 0:w] += Apanel * Bpanel over @p kc depth.  The accumulator
- * tile lives in registers; the panels are read unit-stride.
+ * One j-iteration's worth of FMAs, the micro-tile row dimension
+ * unrolled via a fold over constant indices.  The constant acc[Is][j]
+ * indexing is what lets the compiler keep the whole accumulator tile
+ * in vector registers: an i-LOOP over acc[i][j] (even with constant
+ * bounds) spills the tile and runs ~17x slower on GCC (measured; the
+ * pre-tuner kernel used eight named arrays for the same reason).
+ *
+ * The accumulate is an EXPLICIT std::fma, not `acc += a * b`: under
+ * the default -ffp-contract=fast the compiler contracts mul+add into
+ * an FMA in some codegen shapes and not others (observed: 1x16 and
+ * 2x16 SLP-vectorized tiles came out uncontracted while 8x16 and the
+ * reference fused), which silently breaks bitwise identity between
+ * schedules.  fma() is a single correctly-rounded IEEE operation, so
+ * spelling it out pins every step's rounding no matter how the loop
+ * is vectorized or unrolled.  gemmReference() uses the same spelling.
  */
-void
-microKernel(const float *ECHO_GEMM_RESTRICT ap,
-            const float *ECHO_GEMM_RESTRICT bp, int64_t kc,
-            float *ECHO_GEMM_RESTRICT c, int64_t ldc, int64_t h,
-            int64_t w)
+template <int MR, int NR, size_t... Is>
+inline void
+fmaRows(float (&acc)[MR][NR], const float *ECHO_GEMM_RESTRICT arow,
+        float bv, int j, std::index_sequence<Is...>)
 {
-    // One named accumulator row per A row: the j-loop is the single
-    // innermost loop — unit-stride, no cross-iteration dependence —
-    // which the auto-vectorizer turns into plain vector FMAs.  (A
-    // 2-D acc[i][j] tile with an inner i-loop trips GCC into an SLP
-    // shuffle storm across rows instead.)
-    static_assert(kMr == 8, "micro-kernel is unrolled for kMr == 8");
-    float acc0[kNr] = {}, acc1[kNr] = {}, acc2[kNr] = {},
-          acc3[kNr] = {}, acc4[kNr] = {}, acc5[kNr] = {},
-          acc6[kNr] = {}, acc7[kNr] = {};
+    ((acc[Is][j] = std::fma(arow[Is], bv, acc[Is][j])), ...);
+}
+
+/**
+ * C[0:h, 0:w] (+)= Apanel * Bpanel over @p kc depth, packed-B variant.
+ * The accumulator tile is INITIALIZED FROM C (zero in the padded
+ * lanes) and stored back, so the per-element K-chain continues in
+ * source order across kc panels — the bitwise contract.  The j-loop is
+ * the single innermost loop — unit-stride, no cross-iteration
+ * dependence — which the auto-vectorizer turns into MR independent
+ * streams of vector FMAs.
+ */
+template <int MR, int NR>
+void
+microKernelPacked(const float *ECHO_GEMM_RESTRICT ap,
+                  const float *ECHO_GEMM_RESTRICT bp, int64_t kc,
+                  float *ECHO_GEMM_RESTRICT c, int64_t ldc, int64_t h,
+                  int64_t w)
+{
+    float acc[MR][NR];
+    for (int i = 0; i < MR; ++i)
+        for (int j = 0; j < NR; ++j)
+            acc[i][j] = (i < h && j < w) ? c[i * ldc + j] : 0.0f;
     for (int64_t p = 0; p < kc; ++p) {
-        const float *ECHO_GEMM_RESTRICT brow = bp + p * kNr;
-        const float *ECHO_GEMM_RESTRICT arow = ap + p * kMr;
-        for (int64_t j = 0; j < kNr; ++j) {
-            const float bv = brow[j];
-            acc0[j] += arow[0] * bv;
-            acc1[j] += arow[1] * bv;
-            acc2[j] += arow[2] * bv;
-            acc3[j] += arow[3] * bv;
-            acc4[j] += arow[4] * bv;
-            acc5[j] += arow[5] * bv;
-            acc6[j] += arow[6] * bv;
-            acc7[j] += arow[7] * bv;
-        }
+        const float *ECHO_GEMM_RESTRICT arow = ap + p * MR;
+        const float *ECHO_GEMM_RESTRICT brow = bp + p * NR;
+        for (int j = 0; j < NR; ++j)
+            fmaRows<MR, NR>(acc, arow, brow[j], j,
+                            std::make_index_sequence<MR>{});
     }
-    const float *acc[kMr] = {acc0, acc1, acc2, acc3,
-                             acc4, acc5, acc6, acc7};
     for (int64_t i = 0; i < h; ++i) {
         float *crow = c + i * ldc;
         for (int64_t j = 0; j < w; ++j)
-            crow[j] += acc[i][j];
+            crow[j] = acc[i][j];
     }
 }
 
 /**
- * Blocked GEMM body: C[M x N] += alpha * A' * B' over raw pointers.
- * @p parallel allows splitting row blocks across the thread pool
- * (bmm passes false when it already parallelizes over the batch).
+ * Direct-B variant: reads B rows in place (@p bdir points at
+ * B[pc, jc+jr], rows @p ldb apart).  Only legal for a non-transposed
+ * B, where rows are unit-stride.  Same load/accumulate/store chain as
+ * the packed variant, so bitwise-identical results.
+ */
+template <int MR, int NR>
+void
+microKernelDirectB(const float *ECHO_GEMM_RESTRICT ap,
+                   const float *ECHO_GEMM_RESTRICT bdir, int64_t ldb,
+                   int64_t kc, float *ECHO_GEMM_RESTRICT c, int64_t ldc,
+                   int64_t h, int64_t w)
+{
+    float acc[MR][NR];
+    for (int i = 0; i < MR; ++i)
+        for (int j = 0; j < NR; ++j)
+            acc[i][j] = (i < h && j < w) ? c[i * ldc + j] : 0.0f;
+    if (w == NR) {
+        for (int64_t p = 0; p < kc; ++p) {
+            const float *ECHO_GEMM_RESTRICT arow = ap + p * MR;
+            const float *ECHO_GEMM_RESTRICT brow = bdir + p * ldb;
+            for (int j = 0; j < NR; ++j)
+                fmaRows<MR, NR>(acc, arow, brow[j], j,
+                                std::make_index_sequence<MR>{});
+        }
+    } else {
+        // Tail columns: bound the j-loop so no out-of-row reads.
+        for (int64_t p = 0; p < kc; ++p) {
+            const float *ECHO_GEMM_RESTRICT arow = ap + p * MR;
+            const float *ECHO_GEMM_RESTRICT brow = bdir + p * ldb;
+            for (int j = 0; j < static_cast<int>(w); ++j)
+                fmaRows<MR, NR>(acc, arow, brow[j], j,
+                                std::make_index_sequence<MR>{});
+        }
+    }
+    for (int64_t i = 0; i < h; ++i) {
+        float *crow = c + i * ldc;
+        for (int64_t j = 0; j < w; ++j)
+            crow[j] = acc[i][j];
+    }
+}
+
+using PackedMicroFn = void (*)(const float *, const float *, int64_t,
+                               float *, int64_t, int64_t, int64_t);
+using DirectMicroFn = void (*)(const float *, const float *, int64_t,
+                               int64_t, float *, int64_t, int64_t,
+                               int64_t);
+
+/** The compiled micro-tile set; keep in sync with kGemmLegalMr/Nr. */
+#define ECHO_GEMM_FOR_EACH_TILE(X)                                     \
+    X(1, 8) X(1, 16) X(1, 32) X(2, 8) X(2, 16) X(2, 32) X(4, 8)        \
+    X(4, 16) X(4, 32) X(8, 8) X(8, 16) X(8, 32)
+
+PackedMicroFn
+packedMicro(int32_t mr, int32_t nr)
+{
+    switch (mr * 100 + nr) {
+#define ECHO_GEMM_CASE(MR, NR)                                         \
+    case MR * 100 + NR:                                                \
+        return microKernelPacked<MR, NR>;
+        ECHO_GEMM_FOR_EACH_TILE(ECHO_GEMM_CASE)
+#undef ECHO_GEMM_CASE
+    default:
+        ECHO_PANIC("no compiled micro-kernel for ", mr, "x", nr);
+    }
+}
+
+DirectMicroFn
+directMicro(int32_t mr, int32_t nr)
+{
+    switch (mr * 100 + nr) {
+#define ECHO_GEMM_CASE(MR, NR)                                         \
+    case MR * 100 + NR:                                                \
+        return microKernelDirectB<MR, NR>;
+        ECHO_GEMM_FOR_EACH_TILE(ECHO_GEMM_CASE)
+#undef ECHO_GEMM_CASE
+    default:
+        ECHO_PANIC("no compiled micro-kernel for ", mr, "x", nr);
+    }
+}
+
+#undef ECHO_GEMM_FOR_EACH_TILE
+
+/**
+ * Blocked GEMM body: C[M x N] += alpha * A' * B' over raw pointers,
+ * driven by @p sch.  @p allow_parallel lets bmm() force per-item
+ * serial execution when it already parallelizes over the batch.
  */
 void
 gemmBlocked(const float *a, bool trans_a, const float *b, bool trans_b,
             float *c, int64_t m, int64_t n, int64_t k, float alpha,
-            bool parallel)
+            const GemmSchedule &sch, bool allow_parallel)
 {
     if (m <= 0 || n <= 0 || k <= 0)
         return;
 
-    const int64_t row_blocks = (m + kMc - 1) / kMc;
-    const bool go_parallel =
-        parallel && row_blocks > 1 && m * n * k >= kParallelMinMadds;
+    const int64_t mc = sch.mc;
+    const int64_t kcb = sch.kc;
+    const int64_t ncb = sch.nc;
+    const int64_t mr = sch.mr;
+    const int64_t nr = sch.nr;
+    // Defensive: a transposed B has stride-K rows, which the direct
+    // kernel cannot read; legality checks should have caught this.
+    const bool direct_b =
+        sch.pack_b == GemmPackB::kDirect && !trans_b;
+    const PackedMicroFn packed_fn =
+        direct_b ? nullptr : packedMicro(sch.mr, sch.nr);
+    const DirectMicroFn direct_fn =
+        direct_b ? directMicro(sch.mr, sch.nr) : nullptr;
 
-    std::vector<float> bpack(static_cast<size_t>(
-        kKc * ((std::min(kNc, n) + kNr - 1) / kNr * kNr)));
+    const int64_t row_blocks = (m + mc - 1) / mc;
+    const int64_t col_blocks = (n + ncb - 1) / ncb;
 
-    for (int64_t jc = 0; jc < n; jc += kNc) {
-        const int64_t nc = std::min(kNc, n - jc);
-        for (int64_t pc = 0; pc < k; pc += kKc) {
-            const int64_t kc = std::min(kKc, k - pc);
-            packB(b, trans_b, k, n, pc, kc, jc, nc, bpack.data());
+    GemmParallel par = allow_parallel ? sch.parallel : GemmParallel::kNone;
+    if (m * n * k < sch.parallel_min_madds)
+        par = GemmParallel::kNone;
+    if (par == GemmParallel::kRows && row_blocks <= 1)
+        par = GemmParallel::kNone;
+    if (par == GemmParallel::kCols && col_blocks <= 1)
+        par = GemmParallel::kNone;
 
-            auto row_block = [&](int64_t blk_begin, int64_t blk_end) {
-                // Reused across calls on the same thread; per-thread so
-                // concurrent row blocks never share a pack buffer.
-                thread_local std::vector<float> apack;
-                apack.resize(static_cast<size_t>(kMc * kKc));
-                for (int64_t blk = blk_begin; blk < blk_end; ++blk) {
-                    const int64_t ic = blk * kMc;
-                    const int64_t mc = std::min(kMc, m - ic);
-                    packA(a, trans_a, m, k, ic, mc, pc, kc, alpha,
-                          apack.data());
-                    for (int64_t jr = 0; jr < nc; jr += kNr) {
-                        const int64_t w = std::min(kNr, nc - jr);
-                        const float *bp =
-                            bpack.data() + (jr / kNr) * kNr * kc;
-                        for (int64_t ir = 0; ir < mc; ir += kMr) {
-                            const int64_t h = std::min(kMr, mc - ir);
-                            const float *ap =
-                                apack.data() + (ir / kMr) * kMr * kc;
-                            microKernel(ap, bp, kc,
-                                        c + (ic + ir) * n + jc + jr, n,
-                                        h, w);
-                        }
-                    }
+    const size_t apack_elems =
+        static_cast<size_t>((mc + mr - 1) / mr * mr * kcb);
+    const size_t bpack_elems =
+        direct_b ? 0
+                 : static_cast<size_t>(
+                       (std::min(ncb, n) + nr - 1) / nr * nr * kcb);
+
+    // Run row blocks [blk0, blk1) against the (jc, pc) panel.  @p bp
+    // is the packed B panel (null for direct-B).
+    auto row_range = [&](int64_t jc, int64_t nc_cur, int64_t pc,
+                         int64_t kc_cur, const float *bp,
+                         int64_t blk0, int64_t blk1, float *apack) {
+        for (int64_t blk = blk0; blk < blk1; ++blk) {
+            const int64_t ic = blk * mc;
+            const int64_t mc_cur = std::min(mc, m - ic);
+            packA(a, trans_a, m, k, ic, mc_cur, pc, kc_cur, alpha,
+                  apack, mr);
+            for (int64_t jr = 0; jr < nc_cur; jr += nr) {
+                const int64_t w = std::min(nr, nc_cur - jr);
+                for (int64_t ir = 0; ir < mc_cur; ir += mr) {
+                    const int64_t h = std::min(mr, mc_cur - ir);
+                    const float *ap = apack + (ir / mr) * mr * kc_cur;
+                    float *cptr = c + (ic + ir) * n + jc + jr;
+                    if (direct_b)
+                        direct_fn(ap, b + pc * n + jc + jr, n, kc_cur,
+                                  cptr, n, h, w);
+                    else
+                        packed_fn(ap, bp + (jr / nr) * nr * kc_cur,
+                                  kc_cur, cptr, n, h, w);
                 }
-            };
-
-            if (go_parallel) {
-                ThreadPool::global().parallelFor(0, row_blocks, 1,
-                                                 row_block);
-            } else {
-                row_block(0, row_blocks);
             }
         }
+    };
+
+    if (par == GemmParallel::kCols) {
+        // Disjoint column blocks per task: every C element is still
+        // written by exactly one task, and its K-chain order does not
+        // depend on the chunking — byte-identical for every thread
+        // count.  Each task packs its own panels.
+        ThreadPool::global().parallelFor(
+            0, col_blocks, 1, [&](int64_t cb0, int64_t cb1) {
+                thread_local std::vector<float> apack;
+                thread_local std::vector<float> bpack;
+                apack.resize(apack_elems);
+                bpack.resize(bpack_elems);
+                for (int64_t cb = cb0; cb < cb1; ++cb) {
+                    const int64_t jc = cb * ncb;
+                    const int64_t nc_cur = std::min(ncb, n - jc);
+                    for (int64_t pc = 0; pc < k; pc += kcb) {
+                        const int64_t kc_cur = std::min(kcb, k - pc);
+                        if (!direct_b)
+                            packB(b, trans_b, k, n, pc, kc_cur, jc,
+                                  nc_cur, bpack.data(), nr);
+                        row_range(jc, nc_cur, pc, kc_cur, bpack.data(),
+                                  0, row_blocks, apack.data());
+                    }
+                }
+            });
+        return;
+    }
+
+    std::vector<float> bpack(bpack_elems);
+    auto panel = [&](int64_t jc, int64_t pc) {
+        const int64_t nc_cur = std::min(ncb, n - jc);
+        const int64_t kc_cur = std::min(kcb, k - pc);
+        if (!direct_b)
+            packB(b, trans_b, k, n, pc, kc_cur, jc, nc_cur,
+                  bpack.data(), nr);
+        if (par == GemmParallel::kRows) {
+            ThreadPool::global().parallelFor(
+                0, row_blocks, 1, [&](int64_t blk0, int64_t blk1) {
+                    // Per-thread so concurrent row blocks never share
+                    // a pack buffer; reused across calls on a thread.
+                    thread_local std::vector<float> apack;
+                    apack.resize(apack_elems);
+                    row_range(jc, nc_cur, pc, kc_cur, bpack.data(),
+                              blk0, blk1, apack.data());
+                });
+        } else {
+            thread_local std::vector<float> apack;
+            apack.resize(apack_elems);
+            row_range(jc, nc_cur, pc, kc_cur, bpack.data(), 0,
+                      row_blocks, apack.data());
+        }
+    };
+
+    if (sch.loop_order == GemmLoopOrder::kNOuter) {
+        for (int64_t jc = 0; jc < n; jc += ncb)
+            for (int64_t pc = 0; pc < k; pc += kcb)
+                panel(jc, pc);
+    } else {
+        for (int64_t pc = 0; pc < k; pc += kcb)
+            for (int64_t jc = 0; jc < n; jc += ncb)
+                panel(jc, pc);
     }
 }
 
@@ -240,15 +412,62 @@ checkGemmOperands(const Tensor &a, bool trans_a, const Tensor &b,
 
 } // namespace
 
+const char *
+gemmIsaName()
+{
+#if defined(__AVX512F__)
+    return "avx512";
+#elif defined(__AVX2__)
+    return "avx2";
+#elif defined(__SSE2__) || defined(_M_X64)
+    return "sse2";
+#elif defined(__ARM_NEON)
+    return "neon";
+#else
+    return "scalar";
+#endif
+}
+
+int
+gemmVectorWidthBytes()
+{
+#if defined(__AVX512F__)
+    return 64;
+#elif defined(__AVX2__)
+    return 32;
+#elif defined(__SSE2__) || defined(_M_X64) || defined(__ARM_NEON)
+    return 16;
+#else
+    return 4;
+#endif
+}
+
 Tensor
 gemm(const Tensor &a, bool trans_a, const Tensor &b, bool trans_b,
      float alpha)
 {
     int64_t m, n, k;
     checkGemmOperands(a, trans_a, b, trans_b, m, n, k);
+    const GemmSchedule sch = scheduleForCall(
+        m, n, k, trans_a, trans_b, ThreadPool::global().numThreads());
     Tensor c = Tensor::zeros(Shape({m, n}));
     gemmBlocked(a.data(), trans_a, b.data(), trans_b, c.data(), m, n, k,
-                alpha, /*parallel=*/true);
+                alpha, sch, /*allow_parallel=*/true);
+    return c;
+}
+
+Tensor
+gemmWithSchedule(const Tensor &a, bool trans_a, const Tensor &b,
+                 bool trans_b, float alpha, const GemmSchedule &sch)
+{
+    int64_t m, n, k;
+    checkGemmOperands(a, trans_a, b, trans_b, m, n, k);
+    std::string why;
+    ECHO_REQUIRE(scheduleLegal(sch, trans_b, &why),
+                 "illegal GEMM schedule [", sch.toString(), "]: ", why);
+    Tensor c = Tensor::zeros(Shape({m, n}));
+    gemmBlocked(a.data(), trans_a, b.data(), trans_b, c.data(), m, n, k,
+                alpha, sch, /*allow_parallel=*/true);
     return c;
 }
 
@@ -265,8 +484,11 @@ gemmReference(const Tensor &a, bool trans_a, const Tensor &b,
         for (int64_t p = 0; p < k; ++p) {
             const float av = alpha * elemA(pa, trans_a, m, k, i, p);
             float *crow = c.data() + i * n;
+            // Explicit fma to match the blocked kernel's rounding
+            // exactly (see fmaRows).
             for (int64_t j = 0; j < n; ++j)
-                crow[j] += av * elemB(pb, trans_b, k, n, p, j);
+                crow[j] = std::fma(av, elemB(pb, trans_b, k, n, p, j),
+                                   crow[j]);
         }
     }
     return c;
@@ -277,6 +499,20 @@ bmm(const Tensor &a, bool trans_a, const Tensor &b, bool trans_b)
 {
     ECHO_REQUIRE(a.shape().ndim() == 3 && b.shape().ndim() == 3,
                  "bmm needs 3-D operands");
+    const int64_t m = trans_a ? a.shape()[2] : a.shape()[1];
+    const int64_t k = trans_a ? a.shape()[1] : a.shape()[2];
+    const int64_t n = trans_b ? b.shape()[1] : b.shape()[2];
+    const GemmSchedule sch = scheduleForCall(
+        m, n, k, trans_a, trans_b, ThreadPool::global().numThreads());
+    return bmmWithSchedule(a, trans_a, b, trans_b, sch);
+}
+
+Tensor
+bmmWithSchedule(const Tensor &a, bool trans_a, const Tensor &b,
+                bool trans_b, const GemmSchedule &sch)
+{
+    ECHO_REQUIRE(a.shape().ndim() == 3 && b.shape().ndim() == 3,
+                 "bmm needs 3-D operands");
     const int64_t batch = a.shape()[0];
     ECHO_REQUIRE(batch == b.shape()[0], "bmm batch mismatch");
     const int64_t m = trans_a ? a.shape()[2] : a.shape()[1];
@@ -284,24 +520,29 @@ bmm(const Tensor &a, bool trans_a, const Tensor &b, bool trans_b)
     const int64_t kb = trans_b ? b.shape()[2] : b.shape()[1];
     const int64_t n = trans_b ? b.shape()[1] : b.shape()[2];
     ECHO_REQUIRE(k == kb, "bmm inner dimensions mismatch");
+    std::string why;
+    ECHO_REQUIRE(scheduleLegal(sch, trans_b, &why),
+                 "illegal GEMM schedule [", sch.toString(), "]: ", why);
 
     Tensor c = Tensor::zeros(Shape({batch, m, n}));
     const int64_t a_stride = a.shape()[1] * a.shape()[2];
     const int64_t b_stride = b.shape()[1] * b.shape()[2];
     const int64_t c_stride = m * n;
 
-    // Parallelize over the batch when there are enough items to keep
-    // the pool busy; each per-item GEMM then stays single-threaded
-    // (nested parallelFor would serialize anyway).  For small batches
-    // of large matrices the per-item kernel parallelizes instead.
+    // Parallelize over the batch when the schedule says so and there
+    // are enough items to keep the pool busy; each per-item GEMM then
+    // stays single-threaded (nested parallelFor would serialize
+    // anyway).  For small batches of large matrices the per-item
+    // kernel parallelizes instead.
     const bool batch_parallel =
-        batch > 1 && batch * m * n * k >= kParallelMinMadds;
+        sch.batch_parallel != 0 && batch > 1 &&
+        batch * m * n * k >= sch.parallel_min_madds;
     auto run_items = [&](int64_t i0, int64_t i1) {
         for (int64_t i = i0; i < i1; ++i) {
             gemmBlocked(a.data() + i * a_stride, trans_a,
                         b.data() + i * b_stride, trans_b,
-                        c.data() + i * c_stride, m, n, k, 1.0f,
-                        /*parallel=*/!batch_parallel);
+                        c.data() + i * c_stride, m, n, k, 1.0f, sch,
+                        /*allow_parallel=*/!batch_parallel);
         }
     };
     if (batch_parallel)

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Cache file parsing and atomic persistence (see header).
+ */
+#include "tune/cache.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <unistd.h>
+
+#include "core/logging.h"
+
+namespace echo::tune {
+
+namespace {
+
+constexpr char kMagic[] = "echo-tune-cache";
+
+/** FNV-1a over the line prefix; printed as the trailing hex field. */
+uint64_t
+lineChecksum(const std::string &prefix)
+{
+    uint64_t h = 1469598103934665603ull;
+    for (unsigned char c : prefix) {
+        h ^= c;
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+std::string
+hex(uint64_t v)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+} // namespace
+
+std::string
+cacheLine(const CacheEntry &e)
+{
+    std::ostringstream os;
+    os << e.key.m << ' ' << e.key.n << ' ' << e.key.k << ' '
+       << (e.key.trans_a ? 1 : 0) << ' ' << (e.key.trans_b ? 1 : 0)
+       << ' ' << e.key.threads << ' ' << e.isa << ' '
+       << e.vector_width_bytes << ' ' << e.schedule.mc << ' '
+       << e.schedule.kc << ' ' << e.schedule.nc << ' ' << e.schedule.mr
+       << ' ' << e.schedule.nr << ' '
+       << static_cast<int>(e.schedule.loop_order) << ' '
+       << static_cast<int>(e.schedule.pack_b) << ' '
+       << static_cast<int>(e.schedule.parallel) << ' '
+       << static_cast<int>(e.schedule.batch_parallel) << ' '
+       << e.schedule.parallel_min_madds << ' ';
+    const std::string prefix = os.str();
+    return prefix + hex(lineChecksum(prefix));
+}
+
+bool
+parseCacheLine(const std::string &line, CacheEntry *out)
+{
+    // Split off the trailing checksum field first and verify it over
+    // the untouched prefix (including its trailing space).
+    const auto crc_at = line.find_last_of(' ');
+    if (crc_at == std::string::npos || crc_at + 1 >= line.size())
+        return false;
+    const std::string prefix = line.substr(0, crc_at + 1);
+    const std::string crc_text = line.substr(crc_at + 1);
+    char *end = nullptr;
+    const uint64_t crc = std::strtoull(crc_text.c_str(), &end, 16);
+    if (end == nullptr || *end != '\0' || crc != lineChecksum(prefix))
+        return false;
+
+    CacheEntry e;
+    int ta = 0, tb = 0, order = 0, pack = 0, par = 0, bpar = 0;
+    std::istringstream is(prefix);
+    if (!(is >> e.key.m >> e.key.n >> e.key.k >> ta >> tb >>
+          e.key.threads >> e.isa >> e.vector_width_bytes >>
+          e.schedule.mc >> e.schedule.kc >> e.schedule.nc >>
+          e.schedule.mr >> e.schedule.nr >> order >> pack >> par >>
+          bpar >> e.schedule.parallel_min_madds))
+        return false;
+    if (e.key.m < 1 || e.key.n < 1 || e.key.k < 1 || e.key.threads < 1)
+        return false;
+    if ((ta | tb) > 1 || order > 1 || pack > 1 || par > 2 || bpar > 1 ||
+        ta < 0 || tb < 0 || order < 0 || pack < 0 || par < 0 || bpar < 0)
+        return false;
+    e.key.trans_a = ta != 0;
+    e.key.trans_b = tb != 0;
+    e.schedule.loop_order = static_cast<ops::GemmLoopOrder>(order);
+    e.schedule.pack_b = static_cast<ops::GemmPackB>(pack);
+    e.schedule.parallel = static_cast<ops::GemmParallel>(par);
+    e.schedule.batch_parallel = static_cast<uint8_t>(bpar);
+    if (!ops::scheduleLegal(e.schedule, e.key.trans_b))
+        return false;
+    *out = e;
+    return true;
+}
+
+CacheLoadResult
+loadTuneCache(const std::string &path)
+{
+    CacheLoadResult result;
+    std::ifstream in(path);
+    if (!in) {
+        // Absent is the normal first-run state, not an error.
+        return result;
+    }
+    result.existed = true;
+
+    std::string header;
+    if (!std::getline(in, header)) {
+        result.ok = false;
+        return result;
+    }
+    std::istringstream hs(header);
+    std::string magic;
+    int version = -1;
+    if (!(hs >> magic >> version) || magic != kMagic ||
+        version != kTuneCacheVersion) {
+        ECHO_WARN(path, ": not a version-", kTuneCacheVersion,
+                  " tune cache (header \"", header, "\"); ignoring it");
+        result.ok = false;
+        return result;
+    }
+
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        CacheEntry e;
+        if (parseCacheLine(line, &e)) {
+            result.entries.push_back(std::move(e));
+        } else {
+            ++result.rejected;
+        }
+    }
+    if (result.rejected > 0)
+        ECHO_WARN(path, ": rejected ", result.rejected,
+                  " corrupt cache entr",
+                  result.rejected == 1 ? "y" : "ies");
+    return result;
+}
+
+bool
+saveTuneCache(const std::string &path,
+              const std::vector<CacheEntry> &entries)
+{
+    namespace fs = std::filesystem;
+    const std::string tmp =
+        path + ".tmp." + std::to_string(::getpid());
+    {
+        std::ofstream out(tmp, std::ios::trunc);
+        if (!out) {
+            ECHO_WARN(tmp, ": cannot write tune cache");
+            return false;
+        }
+        out << kMagic << ' ' << kTuneCacheVersion << '\n';
+        for (const CacheEntry &e : entries)
+            out << cacheLine(e) << '\n';
+        out.flush();
+        if (!out) {
+            ECHO_WARN(tmp, ": short write persisting tune cache");
+            std::error_code ec;
+            fs::remove(tmp, ec);
+            return false;
+        }
+    }
+    std::error_code ec;
+    fs::rename(tmp, path, ec);
+    if (ec) {
+        ECHO_WARN(path, ": rename failed persisting tune cache: ",
+                  ec.message());
+        fs::remove(tmp, ec);
+        return false;
+    }
+    return true;
+}
+
+std::string
+defaultCachePath()
+{
+    const char *env = std::getenv("ECHO_TUNE_CACHE");
+    if (env != nullptr && *env != '\0')
+        return env;
+    return ".echo-tune-cache";
+}
+
+} // namespace echo::tune

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * The persistent on-disk tuning cache.
+ *
+ * A plain-text file, one tuned decision per line, so a cache diff in a
+ * results directory is reviewable.  Layout:
+ *
+ *   echo-tune-cache 1                   <- versioned magic, line 1
+ *   <entry>\n ...                       <- one decision per line
+ *
+ * where an entry is
+ *
+ *   m n k ta tb threads isa vecw  mc kc nc mr nr order pack par bpar
+ *   minmadds  crc
+ *
+ * and crc is the FNV-1a hash (hex) of everything before it on the
+ * line.  Entries carry the ISA name and vector width the schedule was
+ * measured under: a cache file copied between machines loses nothing,
+ * but only entries matching the running kernel's ISA are applied.
+ *
+ * Robustness rules:
+ *  - a wrong magic/version fails the whole load (ok = false) — the
+ *    format owns no forward-compatibility promises;
+ *  - a corrupt LINE (bad crc, short fields, illegal schedule) is
+ *    rejected individually and counted, and the rest of the file
+ *    still loads — one flipped bit must not discard a night of
+ *    tuning;
+ *  - saves write to <path>.tmp.<pid> and rename into place, so a
+ *    crashed writer can never leave a half-written cache behind.
+ */
+#ifndef ECHO_TUNE_CACHE_H
+#define ECHO_TUNE_CACHE_H
+
+#include <string>
+#include <vector>
+
+#include "tensor/gemm_schedule.h"
+
+namespace echo::tune {
+
+/** One tuned decision as stored on disk. */
+struct CacheEntry
+{
+    ops::GemmKey key;
+    /** Kernel ISA the measurement ran under (gemmIsaName()). */
+    std::string isa = "scalar";
+    int vector_width_bytes = 0;
+    ops::GemmSchedule schedule;
+
+    friend bool operator==(const CacheEntry &, const CacheEntry &) =
+        default;
+};
+
+/** Outcome of loading a cache file. */
+struct CacheLoadResult
+{
+    std::vector<CacheEntry> entries;
+    /** Corrupt lines skipped (checksum/parse/legality failures). */
+    int rejected = 0;
+    /** False when the file exists but the header is wrong/unreadable. */
+    bool ok = true;
+    /** False when there was no file at all (ok stays true). */
+    bool existed = false;
+};
+
+/** The cache format version this build reads and writes. */
+constexpr int kTuneCacheVersion = 1;
+
+/** Parse the cache at @p path (see robustness rules above). */
+CacheLoadResult loadTuneCache(const std::string &path);
+
+/** Atomically replace the cache at @p path.  Returns false on I/O
+ *  failure (and warns); tuning proceeds without persistence. */
+bool saveTuneCache(const std::string &path,
+                   const std::vector<CacheEntry> &entries);
+
+/** Serialize one entry to its cache line (without newline). */
+std::string cacheLine(const CacheEntry &entry);
+
+/** Parse one cache line; returns false (and leaves @p out alone) on
+ *  any corruption. */
+bool parseCacheLine(const std::string &line, CacheEntry *out);
+
+/** $ECHO_TUNE_CACHE, defaulting to ".echo-tune-cache" in the CWD. */
+std::string defaultCachePath();
+
+} // namespace echo::tune
+
+#endif // ECHO_TUNE_CACHE_H

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Candidate timing (see header).
+ */
+#include "tune/measure.h"
+
+#include <algorithm>
+#include <chrono>
+#include <vector>
+
+#include "core/logging.h"
+#include "core/rng.h"
+#include "obs/counters.h"
+#include "tensor/ops.h"
+
+namespace echo::tune {
+
+namespace {
+
+/** Fixed operand seed: every candidate for a key times the same data. */
+constexpr uint64_t kOperandSeed = 0x7u;
+
+} // namespace
+
+Measurement
+measureSchedule(const ops::GemmKey &key, const ops::GemmSchedule &schedule,
+                int warmup, int reps)
+{
+    ECHO_REQUIRE(ops::scheduleLegal(schedule, key.trans_b),
+                 "measureSchedule: illegal schedule ",
+                 schedule.toString(), " for ", key.toString());
+    ECHO_REQUIRE(reps >= 1, "measureSchedule: reps must be >= 1");
+
+    static obs::Counter &measure_runs = obs::counter(
+        "tune.measure_runs", obs::CounterKind::kScheduling);
+
+    Rng rng(kOperandSeed);
+    const Tensor a = Tensor::uniform(
+        key.trans_a ? Shape({key.k, key.m}) : Shape({key.m, key.k}),
+        rng);
+    const Tensor b = Tensor::uniform(
+        key.trans_b ? Shape({key.n, key.k}) : Shape({key.k, key.n}),
+        rng);
+
+    for (int i = 0; i < warmup; ++i)
+        (void)ops::gemmWithSchedule(a, key.trans_a, b, key.trans_b, 1.0f,
+                                    schedule);
+
+    std::vector<double> times;
+    times.reserve(static_cast<size_t>(reps));
+    for (int i = 0; i < reps; ++i) {
+        const auto t0 = std::chrono::steady_clock::now();
+        (void)ops::gemmWithSchedule(a, key.trans_a, b, key.trans_b, 1.0f,
+                                    schedule);
+        const auto t1 = std::chrono::steady_clock::now();
+        times.push_back(std::chrono::duration<double>(t1 - t0).count());
+        measure_runs.add(1);
+    }
+    std::nth_element(times.begin(), times.begin() + times.size() / 2,
+                     times.end());
+    return Measurement{times[times.size() / 2], warmup, reps};
+}
+
+} // namespace echo::tune

@@ -22,6 +22,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 
 #include "core/rng.h"
@@ -34,6 +35,8 @@
 #include "graph/ops/oplib.h"
 #include "memory/planner.h"
 #include "obs/memory_timeline.h"
+#include "tensor/ops.h"
+#include "tune/search_space.h"
 
 namespace echo::pass {
 namespace {
@@ -374,6 +377,53 @@ TEST_P(PassFuzz, TimelineReplayMatchesPlanAndLivenessBound)
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PassFuzz,
+                         ::testing::ValuesIn(fuzzSeeds()));
+
+// ---------------------------------------------------------------------
+// GEMM schedule fuzz: ANY randomly drawn legal schedule must be
+// bit-exact against gemmReference — the property the autotuner's
+// correctness rests on (tuning can only change speed, never a bit).
+// ---------------------------------------------------------------------
+
+class GemmScheduleFuzz : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(GemmScheduleFuzz, RandomLegalSchedulesAreBitExact)
+{
+    const uint64_t seed = GetParam();
+    Rng rng(seed * 0x9E3779B9u + 1);
+    const int threads = ThreadPool::global().numThreads();
+    for (int draw = 0; draw < 8; ++draw) {
+        const int64_t m = 1 + static_cast<int64_t>(rng.uniformInt(70));
+        const int64_t n = 1 + static_cast<int64_t>(rng.uniformInt(70));
+        const int64_t k = 1 + static_cast<int64_t>(rng.uniformInt(70));
+        const bool ta = rng.uniformInt(2) != 0;
+        const bool tb = rng.uniformInt(2) != 0;
+        const ops::GemmSchedule sched =
+            tune::randomLegalSchedule(rng, tb, threads);
+        ASSERT_TRUE(ops::scheduleLegal(sched, tb))
+            << repro(seed) << " " << sched.toString();
+
+        Rng data(seed * 131 + static_cast<uint64_t>(draw));
+        const Tensor a = Tensor::uniform(
+            ta ? Shape({k, m}) : Shape({m, k}), data);
+        const Tensor b = Tensor::uniform(
+            tb ? Shape({n, k}) : Shape({k, n}), data);
+        const Tensor want = ops::gemmReference(a, ta, b, tb);
+        const Tensor got =
+            ops::gemmWithSchedule(a, ta, b, tb, 1.0f, sched);
+        ASSERT_EQ(want.shape(), got.shape()) << repro(seed);
+        ASSERT_EQ(std::memcmp(want.data(), got.data(),
+                              static_cast<size_t>(want.shape().bytes())),
+                  0)
+            << repro(seed) << " " << m << "x" << n << "x" << k
+            << (ta ? " T" : " N") << (tb ? "T" : "N") << " schedule "
+            << sched.toString();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GemmScheduleFuzz,
                          ::testing::ValuesIn(fuzzSeeds()));
 
 } // namespace

@@ -13,7 +13,7 @@
 
 #include "echo/candidate.h"
 #include "echo/cost_model.h"
-#include "echo/recompute_pass.h"
+#include "pass/builtin_passes.h"
 #include "graph/autodiff.h"
 #include "graph/ops/oplib.h"
 #include "models/attention.h"
@@ -92,10 +92,13 @@ main()
                     cost.replay_time_us);
     }
 
-    pass::PassConfig config;
-    config.overhead_budget_fraction = -1.0;
-    const pass::PassResult result =
-        pass::runRecomputePass(g, fetches, config);
+    pass::PipelineContext pctx(g);
+    pctx.fetches = fetches;
+    pctx.weight_grads = grads.weight_grads;
+    pctx.recompute_config.overhead_budget_fraction = -1.0;
+    pass::buildPipeline("recompute")
+        .runOrDie(pctx, "inspect_graph recompute");
+    const pass::PassResult result = pctx.recompute;
     std::printf("\n=== pass result ===\n"
                 "accepted %d region(s): dropped %lld B of stash, added "
                 "%lld B, %.2f us replay (baseline %.2f us)\n",

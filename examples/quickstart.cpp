@@ -10,12 +10,11 @@
 
 #include "core/logging.h"
 #include "core/rng.h"
-#include "echo/recompute_pass.h"
-#include "graph/autodiff.h"
 #include "graph/executor.h"
 #include "graph/ops/oplib.h"
 #include "memory/profiler.h"
 #include "models/attention.h"
+#include "pass/builtin_passes.h"
 
 using namespace echo;
 using namespace echo::graph;
@@ -48,29 +47,31 @@ main()
     Val logits = g.apply1(ol::sliceOp(1, 0, b + 8), {cur});
     Val loss = g.apply1(ol::crossEntropyLoss(), {logits, labels});
 
-    // 2. Differentiate: the backward graph stashes the big interiors.
-    std::vector<Val> wrt;
+    // 2. Differentiate through the contract-checked pass pipeline:
+    //    the "autodiff" stage appends the backward graph (stashing the
+    //    big interiors) and its postconditions are machine-checked.
+    pass::PipelineContext ctx(g);
+    ctx.loss = loss;
     for (const auto &[name, val] : registry)
-        wrt.push_back(val);
-    GradientResult grads = backward(g, loss, wrt);
-    std::vector<Val> fetches = {loss};
-    for (const Val &gv : grads.weight_grads)
-        fetches.push_back(gv);
+        ctx.wrt.push_back(val);
+    pass::buildPipeline("autodiff").runOrDie(ctx, "quickstart autodiff");
+    std::vector<Val> fetches = ctx.fetches;
 
     memory::ProfilerOptions popts;
     popts.cuda_context_bytes = 0;
     const auto before =
-        memory::profileMemory(fetches, grads.weight_grads, popts);
+        memory::profileMemory(fetches, ctx.weight_grads, popts);
 
-    // 3. Run the Echo pass: stash the small frontier, replay the
-    //    interior during the backward pass.
-    pass::PassConfig config;
-    config.overhead_budget_fraction = -1.0; // recompute everything
-    const pass::PassResult result =
-        pass::runRecomputePass(g, fetches, config);
+    // 3. Run the Echo pass as a second pipeline stage over the same
+    //    context (the gradients invariant carries over): stash the
+    //    small frontier, replay the interior during the backward pass.
+    ctx.recompute_config.overhead_budget_fraction =
+        -1.0; // recompute everything
+    pass::buildPipeline("recompute").runOrDie(ctx, "quickstart recompute");
+    const pass::PassResult &result = ctx.recompute;
 
     const auto after =
-        memory::profileMemory(fetches, grads.weight_grads, popts);
+        memory::profileMemory(fetches, ctx.weight_grads, popts);
 
     std::printf("Echo pass: %d region(s), %d recompute node(s)\n",
                 result.num_regions, result.num_recompute_nodes);

@@ -12,7 +12,7 @@
 #include "core/logging.h"
 
 #include "data/batcher.h"
-#include "echo/recompute_pass.h"
+#include "pass/builtin_passes.h"
 #include "analysis/numeric_verify.h"
 #include "graph/executor.h"
 #include "models/nmt.h"
@@ -52,10 +52,13 @@ main()
     // the loss trajectories coincide bit for bit.
     models::NmtModel model(cfg);
     models::NmtModel baseline(cfg);
-    pass::PassConfig pass_cfg;
-    pass_cfg.overhead_budget_fraction = -1.0;
-    const pass::PassResult pres = pass::runRecomputePass(
-        model.graph(), model.fetches(), pass_cfg);
+    pass::PipelineContext pctx(model.graph());
+    pctx.fetches = model.fetches();
+    pctx.weight_grads = model.weightGrads();
+    pctx.recompute_config.overhead_budget_fraction = -1.0;
+    pass::buildPipeline("recompute")
+        .runOrDie(pctx, "train_nmt recompute");
+    const pass::PassResult pres = pctx.recompute;
     std::printf("Echo pass rewrote %d regions (%d replay nodes)\n\n",
                 pres.num_regions, pres.num_recompute_nodes);
 

@@ -133,6 +133,15 @@ class FusedRegionOp : public Op
         ECHO_PANIC("fused_recompute is never differentiated");
     }
 
+    std::vector<const Node *>
+    pinnedNodes() const override
+    {
+        // forward() replays each template node's op live, with input
+        // wiring pre-resolved at construction: a pass that retypes any
+        // of them in place would feed stale inputs to the new op.
+        return {spec_.nodes.begin(), spec_.nodes.end()};
+    }
+
     std::vector<KernelDesc>
     kernels(const std::vector<Shape> &,
             const std::vector<Shape> &) const override

@@ -136,6 +136,15 @@ runFusionPass(graph::Graph &g, const std::vector<Val> &fetches,
     std::unordered_map<const Node *, std::vector<EwInstr>> lowerings;
     std::unordered_set<const Node *> claimed;
 
+    // Nodes some op replays through at execution time (the recompute
+    // pass's fused regions read their template nodes' op live).
+    // Retyping one in place would silently rewire that replay, so they
+    // are claimed up front — never a sink, never absorbed.
+    for (const Node *n : alive)
+        if (n->op != nullptr)
+            for (const Node *pinned : n->op->pinnedNodes())
+                claimed.insert(pinned);
+
     // Sinks are visited in reverse topological order, so a node is
     // absorbed as an interior of the highest-id group that can legally
     // hold it before it ever gets to seed a group of its own.

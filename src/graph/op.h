@@ -152,6 +152,19 @@ class Op
     {
         return {};
     }
+
+    /**
+     * Graph nodes this op reads THROUGH at execution time (e.g.\ the
+     * fused recompute region replays its template nodes' `op` and
+     * output arity live).  Any transform that retypes nodes in place —
+     * element-wise fusion swaps a sink's op and inputs — must leave
+     * pinned nodes untouched, or the aliasing op replays a rewired
+     * template with stale input wiring.  Empty for ordinary ops.
+     */
+    virtual std::vector<const Node *> pinnedNodes() const
+    {
+        return {};
+    }
 };
 
 using OpPtr = std::shared_ptr<Op>;

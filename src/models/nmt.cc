@@ -189,10 +189,13 @@ struct NmtDecoder::Graphs
 };
 
 NmtDecoder::NmtDecoder(const NmtConfig &config, int64_t batch,
-                       int64_t src_len, graph::ExecMode mode)
+                       int64_t src_len, graph::ExecMode mode,
+                       const std::string &pipeline_spec)
     : config_(config), batch_(batch), src_len_(src_len),
       graphs_(std::make_unique<Graphs>())
 {
+    const std::string spec =
+        pass::resolveSpec(pass::PipelineKind::kInference, pipeline_spec);
     ECHO_REQUIRE(batch >= 1 && src_len >= 1,
                  "NmtDecoder needs batch >= 1 and src_len >= 1");
     // The decode graphs are built at this decoder's own batch and
@@ -213,7 +216,10 @@ NmtDecoder::NmtDecoder(const NmtConfig &config, int64_t batch,
             buildEncoder(g, d.enc_src, cfg, d.enc_weights, attn);
         d.enc_hs = enc.hs;
         d.enc_keys = enc.keys;
-        fusion::fuseIfEnabled(g, {enc.hs, enc.keys});
+        pass::PipelineContext ctx(g);
+        ctx.fetches = {enc.hs, enc.keys};
+        pass::buildPipeline(spec).runOrDie(ctx,
+                                           "NmtDecoder encoder pipeline");
         d.enc_exec = std::make_unique<graph::Executor>(
             std::vector<Val>{enc.hs, enc.keys}, mode);
     }
@@ -255,8 +261,11 @@ NmtDecoder::NmtDecoder(const NmtConfig &config, int64_t batch,
         d.st_h_out = so.state.h;
         d.st_c_out = so.state.c;
         d.st_attn_out = so.attn_hidden;
-        fusion::fuseIfEnabled(g, {d.st_logits, d.st_h_out, d.st_c_out,
-                                  d.st_attn_out});
+        pass::PipelineContext ctx(g);
+        ctx.fetches = {d.st_logits, d.st_h_out, d.st_c_out,
+                       d.st_attn_out};
+        pass::buildPipeline(spec).runOrDie(ctx,
+                                           "NmtDecoder step pipeline");
         d.step_exec = std::make_unique<graph::Executor>(
             std::vector<Val>{d.st_logits, d.st_h_out, d.st_c_out,
                              d.st_attn_out},
@@ -310,7 +319,8 @@ NmtDecoder::step(const ParamStore &params, State &state,
     return std::move(out[0]);
 }
 
-NmtModel::NmtModel(const NmtConfig &config)
+NmtModel::NmtModel(const NmtConfig &config,
+                   const std::string &pipeline_spec)
     : config_(config), graph_(std::make_unique<Graph>())
 {
     Graph &g = *graph_;
@@ -384,19 +394,29 @@ NmtModel::NmtModel(const NmtConfig &config)
                          "nmt_loss");
     }
 
-    std::vector<Val> wrt;
-    wrt.reserve(weights_.size());
+    // Everything past the forward build is the contract-checked
+    // training pipeline (default "autodiff,fusion").
+    pass::PipelineContext ctx(g);
+    ctx.loss = loss_;
+    ctx.wrt.reserve(weights_.size());
     for (const auto &[name, val] : weights_)
-        wrt.push_back(val);
-    const graph::GradientResult gr = graph::backward(g, loss_, wrt);
-    weight_grads_ = gr.weight_grads;
-    fetches_ = {loss_};
-    fetches_.insert(fetches_.end(), weight_grads_.begin(),
-                    weight_grads_.end());
-
-    // Fuse element-wise chains after autodiff so forward and backward
-    // chains both shrink; byte-identical by the fusion contract.
-    fusion_ = fusion::fuseIfEnabled(g, fetches_);
+        ctx.wrt.push_back(val);
+    ctx.has_layout_spec = true;
+    ctx.layout_spec.input_size = config.hidden;
+    ctx.layout_spec.hidden = config.hidden;
+    ctx.layout_spec.layers = config.enc_layers;
+    ctx.layout_spec.batch = config.batch;
+    ctx.layout_spec.seq_len = config.src_len;
+    pipeline_spec_ =
+        pass::resolveSpec(pass::PipelineKind::kTraining, pipeline_spec);
+    const pass::PassManager pm = pass::buildPipeline(pipeline_spec_);
+    pass::PassManager::RunOptions opts;
+    opts.die_on_error = true;
+    opts.what = "NmtModel pipeline";
+    pipeline_report_ = pm.run(ctx, opts);
+    weight_grads_ = ctx.weight_grads;
+    fetches_ = ctx.effectiveFetches();
+    fusion_ = ctx.fusion;
 }
 
 NmtModel::~NmtModel() = default;

@@ -22,6 +22,7 @@
 #include "graph/fusion.h"
 #include "models/attention.h"
 #include "models/params.h"
+#include "pass/builtin_passes.h"
 #include "rnn/stack.h"
 
 namespace echo::models {
@@ -65,7 +66,8 @@ class NmtDecoder
 {
   public:
     NmtDecoder(const NmtConfig &config, int64_t batch, int64_t src_len,
-               graph::ExecMode mode = graph::ExecMode::kAuto);
+               graph::ExecMode mode = graph::ExecMode::kAuto,
+               const std::string &pipeline_spec = "");
     ~NmtDecoder();
 
     NmtDecoder(const NmtDecoder &) = delete;
@@ -117,7 +119,8 @@ class NmtDecoder
 class NmtModel
 {
   public:
-    explicit NmtModel(const NmtConfig &config);
+    explicit NmtModel(const NmtConfig &config,
+                      const std::string &pipeline_spec = "");
     ~NmtModel();
 
     const NmtConfig &config() const { return config_; }
@@ -136,6 +139,14 @@ class NmtModel
     const fusion::FusionResult &fusionResult() const
     {
         return fusion_;
+    }
+
+    /** The pipeline spec the constructor ran and its per-stage report
+     *  (IR snapshot diffs + postcondition checker findings). */
+    const std::string &pipelineSpec() const { return pipeline_spec_; }
+    const pass::PipelineReport &pipelineReport() const
+    {
+        return pipeline_report_;
     }
 
     ParamStore initialParams(Rng &rng) const;
@@ -159,6 +170,8 @@ class NmtModel
     std::vector<graph::Val> weight_grads_;
     std::vector<graph::Val> fetches_;
     fusion::FusionResult fusion_;
+    std::string pipeline_spec_;
+    pass::PipelineReport pipeline_report_;
     mutable std::unique_ptr<NmtDecoder> decode_; // built lazily
 };
 

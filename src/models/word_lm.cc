@@ -12,7 +12,8 @@ using graph::Graph;
 using graph::TagScope;
 using graph::Val;
 
-WordLmModel::WordLmModel(const WordLmConfig &config)
+WordLmModel::WordLmModel(const WordLmConfig &config,
+                         const std::string &pipeline_spec)
     : config_(config), graph_(std::make_unique<Graph>())
 {
     Graph &g = *graph_;
@@ -45,6 +46,7 @@ WordLmModel::WordLmModel(const WordLmConfig &config)
         spec.seq_len = t;
         stack = rnn::buildLstmStack(g, rnn_in, spec, config.backend,
                                     "lstm");
+        layout_spec_ = spec;
         for (size_t layer = 0; layer < stack.weights.size(); ++layer) {
             const std::string prefix =
                 "lstm.l" + std::to_string(layer);
@@ -76,19 +78,27 @@ WordLmModel::WordLmModel(const WordLmConfig &config)
                          "lm_loss");
     }
 
-    std::vector<Val> wrt;
-    wrt.reserve(weights_.size());
+    // Everything past the forward build is the contract-checked
+    // training pipeline (default "autodiff,fusion"): autodiff sets
+    // ctx.fetches = {loss, grads...}, fusion journals into ctx.fusion,
+    // and every pass's postconditions are machine-checked.
+    pass::PipelineContext ctx(g);
+    ctx.loss = loss_;
+    ctx.wrt.reserve(weights_.size());
     for (const auto &[name, val] : weights_)
-        wrt.push_back(val);
-    const graph::GradientResult gr = graph::backward(g, loss_, wrt);
-    weight_grads_ = gr.weight_grads;
-    fetches_ = {loss_};
-    fetches_.insert(fetches_.end(), weight_grads_.begin(),
-                    weight_grads_.end());
-
-    // Fuse element-wise chains after autodiff so forward and backward
-    // chains both shrink; byte-identical by the fusion contract.
-    fusion_ = fusion::fuseIfEnabled(g, fetches_);
+        ctx.wrt.push_back(val);
+    ctx.has_layout_spec = true;
+    ctx.layout_spec = layout_spec_;
+    pipeline_spec_ =
+        pass::resolveSpec(pass::PipelineKind::kTraining, pipeline_spec);
+    const pass::PassManager pm = pass::buildPipeline(pipeline_spec_);
+    pass::PassManager::RunOptions opts;
+    opts.die_on_error = true;
+    opts.what = "WordLmModel pipeline";
+    pipeline_report_ = pm.run(ctx, opts);
+    weight_grads_ = ctx.weight_grads;
+    fetches_ = ctx.effectiveFetches();
+    fusion_ = ctx.fusion;
 }
 
 ParamStore
@@ -121,7 +131,8 @@ struct WordLmStepper::Graphs
 };
 
 WordLmStepper::WordLmStepper(const WordLmConfig &config, int64_t batch,
-                             graph::ExecMode mode)
+                             graph::ExecMode mode,
+                             const std::string &pipeline_spec)
     : config_(config), batch_(batch),
       graphs_(std::make_unique<Graphs>())
 {
@@ -179,7 +190,11 @@ WordLmStepper::WordLmStepper(const WordLmConfig &config, int64_t batch,
     std::vector<Val> fetches{d.logits};
     fetches.insert(fetches.end(), d.h_out.begin(), d.h_out.end());
     fetches.insert(fetches.end(), d.c_out.begin(), d.c_out.end());
-    fusion::fuseIfEnabled(g, fetches);
+    pass::PipelineContext ctx(g);
+    ctx.fetches = fetches;
+    pass::buildPipeline(
+        pass::resolveSpec(pass::PipelineKind::kInference, pipeline_spec))
+        .runOrDie(ctx, "WordLmStepper pipeline");
     d.exec = std::make_unique<graph::Executor>(std::move(fetches),
                                                mode);
 }

@@ -11,6 +11,7 @@
 #include "data/batcher.h"
 #include "graph/fusion.h"
 #include "models/params.h"
+#include "pass/builtin_passes.h"
 #include "rnn/stack.h"
 
 namespace echo::models {
@@ -26,11 +27,17 @@ struct WordLmConfig
     rnn::RnnBackend backend = rnn::RnnBackend::kDefault;
 };
 
-/** The built training graph of the word-level LM. */
+/** The built training graph of the word-level LM.
+ *
+ *  The constructor builds the forward graph, then runs the training
+ *  pass pipeline over it (default "autodiff,fusion"; override with
+ *  @p pipeline_spec or ECHO_PASSES — "none" keeps the forward graph
+ *  untouched, e.g.\ for echo-lint --pipeline replays). */
 class WordLmModel
 {
   public:
-    explicit WordLmModel(const WordLmConfig &config);
+    explicit WordLmModel(const WordLmConfig &config,
+                         const std::string &pipeline_spec = "");
 
     const WordLmConfig &config() const { return config_; }
     graph::Graph &graph() { return *graph_; }
@@ -51,6 +58,17 @@ class WordLmModel
         return fusion_;
     }
 
+    /** The pipeline spec the constructor ran and its per-stage report
+     *  (IR snapshot diffs + postcondition checker findings). */
+    const std::string &pipelineSpec() const { return pipeline_spec_; }
+    const pass::PipelineReport &pipelineReport() const
+    {
+        return pipeline_report_;
+    }
+
+    /** The stack's representative projection, for the layout pass. */
+    const rnn::LstmSpec &layoutSpec() const { return layout_spec_; }
+
     /** Initialize a fresh parameter store. */
     ParamStore initialParams(Rng &rng) const;
 
@@ -66,6 +84,9 @@ class WordLmModel
     std::vector<graph::Val> weight_grads_;
     std::vector<graph::Val> fetches_;
     fusion::FusionResult fusion_;
+    rnn::LstmSpec layout_spec_;
+    std::string pipeline_spec_;
+    pass::PipelineReport pipeline_report_;
 };
 
 /**
@@ -83,7 +104,8 @@ class WordLmStepper
 {
   public:
     WordLmStepper(const WordLmConfig &config, int64_t batch,
-                  graph::ExecMode mode = graph::ExecMode::kAuto);
+                  graph::ExecMode mode = graph::ExecMode::kAuto,
+                  const std::string &pipeline_spec = "");
     ~WordLmStepper();
 
     WordLmStepper(const WordLmStepper &) = delete;

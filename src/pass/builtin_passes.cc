@@ -1,0 +1,405 @@
+#include "pass/builtin_passes.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <sstream>
+
+#include "core/logging.h"
+#include "core/thread_pool.h"
+#include "graph/autodiff.h"
+#include "graph/gemm_keys.h"
+#include "graph/schedule.h"
+#include "tune/tuner.h"
+
+namespace echo::pass {
+namespace {
+
+// ---------------------------------------------------------------------
+// Built-in passes
+// ---------------------------------------------------------------------
+
+/** graph::backward as a pass: turns a forward graph with a loss into
+ *  the training graph, setting ctx.fetches = {loss, grads...}. */
+class AutodiffPass : public Pass
+{
+  public:
+    const char *name() const override { return "autodiff"; }
+    std::vector<Invariant> preconditions() const override
+    {
+        return {Invariant::kDifferentiable};
+    }
+    std::vector<Invariant> establishes() const override
+    {
+        return {Invariant::kGradients};
+    }
+    std::vector<Invariant> invalidates() const override
+    {
+        // One-shot: the graph is no longer "fresh forward", and the
+        // backward projections launch GEMM shapes no warm-up has seen.
+        return {Invariant::kDifferentiable, Invariant::kGemmKeysWarm};
+    }
+    void
+    run(PipelineContext &ctx) override
+    {
+        ECHO_CHECK(ctx.loss.defined(),
+                   "autodiff pass needs ctx.loss (the scalar to "
+                   "differentiate)");
+        const graph::GradientResult grads =
+            graph::backward(*ctx.graph, ctx.loss, ctx.wrt);
+        ctx.weight_grads = grads.weight_grads;
+        ctx.fetches.clear();
+        ctx.fetches.push_back(ctx.loss);
+        ctx.fetches.insert(ctx.fetches.end(), ctx.weight_grads.begin(),
+                           ctx.weight_grads.end());
+    }
+};
+
+/** Element-wise fusion; journals into ctx.fusion for the audit. */
+class FusionPass : public Pass
+{
+  public:
+    const char *name() const override { return "fusion"; }
+    std::vector<Invariant> establishes() const override
+    {
+        return {Invariant::kFusionJournal};
+    }
+    std::vector<Invariant> invalidates() const override
+    {
+        // FusedElementwiseOp has no gradient; and retyping group sinks
+        // in place means an earlier recompute snapshot no longer
+        // matches the graph's history, so its audit can't replay.
+        return {Invariant::kDifferentiable, Invariant::kRecomputeApplied};
+    }
+    void
+    run(PipelineContext &ctx) override
+    {
+        ctx.fusion = fusion::runFusionPass(*ctx.graph,
+                                           ctx.effectiveFetches(),
+                                           ctx.fusion_config);
+    }
+    std::vector<std::string> postconditionCheckers() const override
+    {
+        return {"graph-verify", "fusion-audit"};
+    }
+};
+
+/** The Echo recompute rewrite; snapshots first so the audit can diff. */
+class RecomputePass : public Pass
+{
+  public:
+    const char *name() const override { return "recompute"; }
+    std::vector<Invariant> preconditions() const override
+    {
+        // Feature maps only exist once backward consumers do.
+        return {Invariant::kGradients};
+    }
+    std::vector<Invariant> establishes() const override
+    {
+        return {Invariant::kRecomputeApplied};
+    }
+    std::vector<Invariant> invalidates() const override
+    {
+        // The rewrite may redirect a fused sink's frontier into
+        // recompute clones, so the fusion journal no longer replays.
+        return {Invariant::kFusionJournal, Invariant::kDifferentiable};
+    }
+    void
+    run(PipelineContext &ctx) override
+    {
+        const std::vector<graph::Val> eff = ctx.effectiveFetches();
+        ctx.recompute_snapshot =
+            analysis::snapshotGraph(*ctx.graph, eff, ctx.weight_grads);
+        ctx.recompute =
+            runRecomputePass(*ctx.graph, eff, ctx.recompute_config);
+    }
+    std::vector<std::string> postconditionCheckers() const override
+    {
+        return {"graph-verify", "recompute-audit"};
+    }
+};
+
+/** TBH-vs-THB layout decision for the representative projection. */
+class LayoutPass : public Pass
+{
+  public:
+    const char *name() const override { return "layout"; }
+    std::vector<Invariant> establishes() const override
+    {
+        return {Invariant::kLayoutDecided};
+    }
+    void
+    run(PipelineContext &ctx) override
+    {
+        // Without a representative spec the default decision stands.
+        if (ctx.has_layout_spec)
+            ctx.layout = layout::chooseLayout(ctx.layout_spec, ctx.gpu);
+    }
+    std::vector<std::string> postconditionCheckers() const override
+    {
+        // Never touches the graph; nothing to re-verify.
+        return {};
+    }
+};
+
+/** Eager GEMM-key autotuner warm-up over the current schedule. */
+class GemmWarmPass : public Pass
+{
+  public:
+    const char *name() const override { return "gemm_warm"; }
+    std::vector<Invariant> establishes() const override
+    {
+        return {Invariant::kGemmKeysWarm};
+    }
+    void
+    run(PipelineContext &ctx) override
+    {
+        ctx.gemm_keys_warmed = 0;
+        const std::vector<graph::Val> eff = ctx.effectiveFetches();
+        if (eff.empty() || ops::tuneMode() == ops::TuneMode::kOff)
+            return;
+        tune::ensureGlobalTuner();
+        // Measuring schedules is a search-mode decision (mirrors the
+        // executor): under kCache the registry is read-only.
+        if (ops::tuneMode() != ops::TuneMode::kSearch)
+            return;
+        const std::vector<graph::Node *> schedule =
+            graph::buildSchedule(eff);
+        ctx.gemm_keys_warmed = tune::globalTuner().warmKeys(
+            graph::collectGemmKeys(schedule,
+                                   ThreadPool::global().numThreads()));
+    }
+    std::vector<std::string> postconditionCheckers() const override
+    {
+        return {};
+    }
+};
+
+/** No transform: re-audits the fusion journal.  Requires the journal
+ *  to still be intact — "audit_fusion" after "recompute" is the
+ *  canonical statically-illegal established-then-clobbered example. */
+class AuditFusionPass : public Pass
+{
+  public:
+    const char *name() const override { return "audit_fusion"; }
+    std::vector<Invariant> preconditions() const override
+    {
+        return {Invariant::kFusionJournal};
+    }
+    void run(PipelineContext &) override {}
+    std::vector<std::string> postconditionCheckers() const override
+    {
+        return {"fusion-audit"};
+    }
+};
+
+/** No transform: runs every registered checker (the ECHO_VERIFY=1
+ *  replacement — verification as a pipeline stage). */
+class VerifyPass : public Pass
+{
+  public:
+    const char *name() const override { return "verify"; }
+    void run(PipelineContext &) override {}
+    std::vector<std::string> postconditionCheckers() const override
+    {
+        return {"graph-verify",  "lifetime",        "hazards",
+                "fusion-audit",  "recompute-audit", "workspace-aliasing"};
+    }
+};
+
+// ---------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------
+
+struct PassRegistry
+{
+    std::mutex mu;
+    std::map<std::string, PassFactory> factories;
+};
+
+PassRegistry &
+passRegistry()
+{
+    static PassRegistry reg;
+    return reg;
+}
+
+std::once_flag builtin_passes_once;
+
+template <typename T>
+PassFactory
+factoryOf()
+{
+    return [] { return std::make_unique<T>(); };
+}
+
+void
+ensureBuiltinPasses()
+{
+    std::call_once(builtin_passes_once, [] {
+        registerPass("autodiff", factoryOf<AutodiffPass>());
+        registerPass("fusion", factoryOf<FusionPass>());
+        registerPass("recompute", factoryOf<RecomputePass>());
+        registerPass("layout", factoryOf<LayoutPass>());
+        registerPass("gemm_warm", factoryOf<GemmWarmPass>());
+        registerPass("audit_fusion", factoryOf<AuditFusionPass>());
+        registerPass("verify", factoryOf<VerifyPass>());
+    });
+}
+
+bool
+envEquals(const char *name, const char *value)
+{
+    const char *env = std::getenv(name);
+    return env != nullptr && std::strcmp(env, value) == 0;
+}
+
+std::string
+joinSpec(const std::vector<std::string> &names)
+{
+    std::ostringstream oss;
+    for (size_t i = 0; i < names.size(); ++i) {
+        if (i > 0)
+            oss << ",";
+        oss << names[i];
+    }
+    return oss.str();
+}
+
+} // namespace
+
+void
+registerPass(const std::string &name, PassFactory factory)
+{
+    ECHO_CHECK(factory != nullptr, "pass factory '", name, "' is null");
+    ECHO_CHECK(name.find(',') == std::string::npos,
+               "pass name '", name, "' may not contain a comma");
+    PassRegistry &reg = passRegistry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    auto [it, inserted] = reg.factories.emplace(name, std::move(factory));
+    (void)it;
+    ECHO_CHECK(inserted, "pass '", name, "' registered twice");
+}
+
+bool
+isRegisteredPass(const std::string &name)
+{
+    ensureBuiltinPasses();
+    PassRegistry &reg = passRegistry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    return reg.factories.count(name) != 0;
+}
+
+std::vector<std::string>
+registeredPassNames()
+{
+    ensureBuiltinPasses();
+    PassRegistry &reg = passRegistry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    std::vector<std::string> names;
+    names.reserve(reg.factories.size());
+    for (const auto &[name, factory] : reg.factories)
+        names.push_back(name);
+    return names;
+}
+
+std::unique_ptr<Pass>
+makePass(const std::string &name)
+{
+    ensureBuiltinPasses();
+    PassFactory factory;
+    {
+        PassRegistry &reg = passRegistry();
+        std::lock_guard<std::mutex> lock(reg.mu);
+        auto it = reg.factories.find(name);
+        if (it == reg.factories.end())
+            return nullptr;
+        factory = it->second;
+    }
+    return factory();
+}
+
+std::vector<std::string>
+parseSpec(const std::string &spec)
+{
+    std::vector<std::string> names;
+    std::string current;
+    std::istringstream stream(spec);
+    while (std::getline(stream, current, ',')) {
+        const size_t first = current.find_first_not_of(" \t");
+        if (first == std::string::npos)
+            continue;
+        const size_t last = current.find_last_not_of(" \t");
+        names.push_back(current.substr(first, last - first + 1));
+    }
+    if (names.size() == 1 && names[0] == "none")
+        names.clear();
+    return names;
+}
+
+std::string
+defaultSpec(PipelineKind kind)
+{
+    switch (kind) {
+      case PipelineKind::kTraining:
+        return "autodiff,fusion";
+      case PipelineKind::kInference:
+        return "fusion";
+    }
+    return "";
+}
+
+std::string
+resolveSpec(PipelineKind kind, const std::string &requested)
+{
+    if (!requested.empty())
+        return requested;
+    if (const char *env = std::getenv("ECHO_PASSES");
+        env != nullptr && env[0] != '\0') {
+        return env;
+    }
+
+    std::vector<std::string> names = parseSpec(defaultSpec(kind));
+    if (envEquals("ECHO_FUSION", "0")) {
+        static std::once_flag warned;
+        std::call_once(warned, [] {
+            ECHO_WARN("ECHO_FUSION=0 is deprecated; set ECHO_PASSES to a "
+                      "spec without 'fusion' instead (rewriting the "
+                      "default pipeline)");
+        });
+        names.erase(std::remove(names.begin(), names.end(), "fusion"),
+                    names.end());
+    }
+    if (envEquals("ECHO_VERIFY", "1")) {
+        static std::once_flag warned;
+        std::call_once(warned, [] {
+            ECHO_WARN("ECHO_VERIFY=1 is deprecated; append 'verify' to "
+                      "ECHO_PASSES instead (rewriting the default "
+                      "pipeline)");
+        });
+        names.push_back("verify");
+    }
+    if (names.empty())
+        return "none";
+    return joinSpec(names);
+}
+
+PassManager
+buildPipeline(const std::string &spec)
+{
+    PassManager pm;
+    for (const std::string &name : parseSpec(spec)) {
+        std::unique_ptr<Pass> pass = makePass(name);
+        if (pass == nullptr) {
+            ECHO_FATAL("unknown pass '", name, "' in pipeline spec '", spec,
+                       "'; registered passes: ",
+                       joinSpec(registeredPassNames()));
+        }
+        pm.add(std::move(pass));
+    }
+    return pm;
+}
+
+} // namespace echo::pass

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * The built-in pass registry and pipeline-spec resolution.
+ *
+ * Every transform in the repo registers here under a stable name:
+ *
+ *   autodiff     graph::backward over ctx.loss / ctx.wrt
+ *   fusion       element-wise fusion (graph/fusion.h)
+ *   recompute    the Echo recompute rewrite (echo/recompute_pass.h)
+ *   layout       TBH-vs-THB layout decision (layout/layout_optimizer.h)
+ *   gemm_warm    GEMM-key autotuner warm-up (graph/gemm_keys.h)
+ *   audit_fusion re-audit of the fusion journal (no transform)
+ *   verify       no transform; runs every registered checker
+ *
+ * Pipelines are comma-separated spec strings ("autodiff,fusion").  The
+ * spec call sites should actually run comes from resolveSpec(), which
+ * honours ECHO_PASSES verbatim and rewrites the default spec for the
+ * deprecated ECHO_FUSION=0 / ECHO_VERIFY=1 aliases (one-time warning):
+ *
+ *   ECHO_FUSION=0  -> remove "fusion" from the default spec
+ *   ECHO_VERIFY=1  -> append "verify" to the default spec
+ */
+#ifndef ECHO_PASS_BUILTIN_PASSES_H
+#define ECHO_PASS_BUILTIN_PASSES_H
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pass/pass_manager.h"
+
+namespace echo::pass {
+
+// ---------------------------------------------------------------------
+// Pass registry
+// ---------------------------------------------------------------------
+
+using PassFactory = std::function<std::unique_ptr<Pass>()>;
+
+/** Register a pass factory under @p name (panics on duplicates). */
+void registerPass(const std::string &name, PassFactory factory);
+
+/** Whether @p name is a registered pass. */
+bool isRegisteredPass(const std::string &name);
+
+/** All registered pass names, sorted. */
+std::vector<std::string> registeredPassNames();
+
+/** A fresh instance of the registered pass, or nullptr when unknown. */
+std::unique_ptr<Pass> makePass(const std::string &name);
+
+// ---------------------------------------------------------------------
+// Pipeline specs
+// ---------------------------------------------------------------------
+
+/** Split a spec on commas, trimming blanks.  The spec "none" (or "")
+ *  yields an empty pipeline. */
+std::vector<std::string> parseSpec(const std::string &spec);
+
+/** Which default a call site wants when no spec is given. */
+enum class PipelineKind {
+    kTraining,  ///< default "autodiff,fusion"
+    kInference, ///< default "fusion" (forward-only step graphs)
+};
+
+/** The hard-coded default spec for @p kind (no env consulted). */
+std::string defaultSpec(PipelineKind kind);
+
+/**
+ * The spec a call site should run: @p requested when non-empty (a
+ * constructor argument wins over everything), else ECHO_PASSES
+ * verbatim, else defaultSpec(kind) rewritten by the deprecated
+ * ECHO_FUSION=0 / ECHO_VERIFY=1 aliases, each with a one-time
+ * deprecation warning.
+ */
+std::string resolveSpec(PipelineKind kind,
+                        const std::string &requested = "");
+
+/**
+ * Build a PassManager from @p spec.  Unknown pass names are a user
+ * error (ECHO_FATAL) naming the registered passes.
+ */
+PassManager buildPipeline(const std::string &spec);
+
+} // namespace echo::pass
+
+#endif // ECHO_PASS_BUILTIN_PASSES_H

@@ -1,0 +1,25 @@
+#include "pass/contracts.h"
+
+namespace echo::pass {
+
+const char *
+invariantName(Invariant inv)
+{
+    switch (inv) {
+      case Invariant::kDifferentiable:
+        return "differentiable";
+      case Invariant::kGradients:
+        return "gradients";
+      case Invariant::kFusionJournal:
+        return "fusion-journal";
+      case Invariant::kRecomputeApplied:
+        return "recompute-applied";
+      case Invariant::kLayoutDecided:
+        return "layout-decided";
+      case Invariant::kGemmKeysWarm:
+        return "gemm-keys-warm";
+    }
+    return "unknown-invariant";
+}
+
+} // namespace echo::pass

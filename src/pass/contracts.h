@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Named invariant contracts of the pass pipeline.
+ *
+ * Every transform registered with the PassManager declares its contract
+ * in terms of these invariants: which ones it needs to already hold
+ * (`preconditions()` — the paper-facing docs call this `requires()`,
+ * but `requires` is a C++20 keyword), which ones it `establishes()`,
+ * and which previously established ones it `invalidates()`.  The
+ * manager checks pipeline legality statically from these declarations
+ * alone — before any pass runs — and tracks the set of invariants that
+ * hold while the pipeline executes so postcondition checkers know what
+ * they may assume.
+ */
+#ifndef ECHO_PASS_CONTRACTS_H
+#define ECHO_PASS_CONTRACTS_H
+
+#include <cstdint>
+
+namespace echo::pass {
+
+/** The invariants passes trade in.  See invariantName for the stable
+ *  kebab-case spelling used in diagnostics and docs. */
+enum class Invariant : uint8_t {
+    /** The graph consists solely of ops autodiff can differentiate and
+     *  has not been rewritten since construction.  Holds for a freshly
+     *  built forward graph; fusion destroys it (FusedElementwiseOp has
+     *  no gradient), and so do autodiff itself (one-shot per pipeline)
+     *  and the recompute rewrite. */
+    kDifferentiable,
+    /** Backward nodes exist and ctx.weight_grads names one gradient per
+     *  requested weight.  Established by the autodiff pass. */
+    kGradients,
+    /** The element-wise fusion journal (ctx.fusion) is auditable: every
+     *  fused group's frontier still points at the values recorded when
+     *  the group was formed.  The recompute pass may redirect a fused
+     *  sink's frontier into recomputed clones, clobbering this. */
+    kFusionJournal,
+    /** The Echo recompute rewrite has been applied and its pre-pass
+     *  snapshot (ctx.recompute_snapshot) matches the current graph's
+     *  history, so auditRecomputePass can diff against it.  A later
+     *  fusion pass retypes snapshot-era nodes in place and clobbers
+     *  this. */
+    kRecomputeApplied,
+    /** A data-layout decision (TBH vs THB) has been recorded for the
+     *  model's representative recurrent projection. */
+    kLayoutDecided,
+    /** The GEMM schedule registry has been warmed for every GEMM key
+     *  the current graph launches.  Any pass that appends GEMM-bearing
+     *  nodes (autodiff's backward projections) invalidates it. */
+    kGemmKeysWarm,
+};
+
+/** Stable kebab-case name ("differentiable", "gradients", ...). */
+const char *invariantName(Invariant inv);
+
+} // namespace echo::pass
+
+#endif // ECHO_PASS_CONTRACTS_H

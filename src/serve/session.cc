@@ -188,7 +188,8 @@ WordLmSession::WordLmSession(models::WordLmConfig model_config,
                              SessionConfig config)
     : InferenceSession(std::move(config)), mcfg_(model_config),
       params_(std::move(params)),
-      stepper_(mcfg_, config_.slots, config_.mode)
+      stepper_(mcfg_, config_.slots, config_.mode,
+               config_.pipeline_spec)
 {
 }
 
@@ -304,7 +305,7 @@ NmtSession::greedyDecoder(int64_t bucket_idx)
         slot = std::make_unique<NmtDecoder>(
             mcfg_, config_.slots,
             config_.buckets[static_cast<size_t>(bucket_idx)],
-            config_.mode);
+            config_.mode, config_.pipeline_spec);
     return *slot;
 }
 
@@ -316,7 +317,7 @@ NmtSession::beamDecoder(int64_t bucket_idx)
         slot = std::make_unique<NmtDecoder>(
             mcfg_, config_.beam_width,
             config_.buckets[static_cast<size_t>(bucket_idx)],
-            config_.mode);
+            config_.mode, config_.pipeline_spec);
     return *slot;
 }
 

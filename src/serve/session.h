@@ -56,6 +56,10 @@ struct SessionConfig
     float beam_alpha = 0.6f;
 
     graph::ExecMode mode = graph::ExecMode::kAuto;
+
+    /** Pass-pipeline spec for the step/encoder graphs; "" resolves via
+     *  ECHO_PASSES / the inference default (see pass::resolveSpec). */
+    std::string pipeline_spec;
 };
 
 /** A loaded model ready to decode micro-batches. */

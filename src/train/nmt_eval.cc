@@ -2,6 +2,7 @@
 
 #include "core/logging.h"
 #include "core/thread_pool.h"
+#include "pass/builtin_passes.h"
 
 namespace echo::train {
 
@@ -49,14 +50,20 @@ profileNmtBucketed(const models::NmtConfig &base_config,
             models::NmtModel model(cfg);
 
             if (opts.policy != pass::PassConfig::Policy::kOff) {
-                pass::PassConfig pc;
-                pc.policy = opts.policy;
-                pc.overhead_budget_fraction =
+                // Run recompute as a contract-checked pipeline stage:
+                // weight_grads marks the gradients invariant as
+                // already established, and the pass's postcondition
+                // audit runs before we trust the rewritten graph.
+                pass::PipelineContext ctx(model.graph());
+                ctx.fetches = model.fetches();
+                ctx.weight_grads = model.weightGrads();
+                ctx.recompute_config.policy = opts.policy;
+                ctx.recompute_config.overhead_budget_fraction =
                     opts.overhead_budget_fraction;
-                pc.gpu = opts.gpu;
-                pass_results[static_cast<size_t>(bi)] =
-                    pass::runRecomputePass(model.graph(),
-                                           model.fetches(), pc);
+                ctx.recompute_config.gpu = opts.gpu;
+                pass::buildPipeline("recompute")
+                    .runOrDie(ctx, "nmt_eval recompute");
+                pass_results[static_cast<size_t>(bi)] = ctx.recompute;
             }
 
             SimulationOptions sim;

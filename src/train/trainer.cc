@@ -2,7 +2,6 @@
 
 #include <cmath>
 
-#include "analysis/analysis.h"
 #include "core/logging.h"
 #include "obs/counters.h"
 #include "obs/trace.h"
@@ -18,11 +17,11 @@ runTrainingLoop(const graph::Executor &executor,
                     &apply_grads,
                 const std::function<double()> &validate)
 {
-    // Opt-in static analysis of the graph about to be trained:
-    // ECHO_VERIFY=1 runs the graph verifier, the lifetime analyzer and
-    // the parallel hazard detector, and dies on any error.
-    if (analysis::verifyEnvEnabled())
-        analysis::verifyOrDie(executor.fetches(), "training executor");
+    // Verification now happens inside the pass pipeline that built the
+    // training graph: ECHO_VERIFY=1 is a deprecated alias that appends
+    // the "verify" pass to the default ECHO_PASSES spec, so the
+    // checkers run between passes (not just once here, after the
+    // fact).  See pass::resolveSpec.
 
     std::vector<CurvePoint> curve;
     curve.reserve(static_cast<size_t>(config.iterations));

@@ -34,6 +34,7 @@
 #include "graph/fusion.h"
 #include "graph/ops/oplib.h"
 #include "memory/planner.h"
+#include "pass/builtin_passes.h"
 #include "obs/memory_timeline.h"
 #include "tensor/ops.h"
 #include "tune/search_space.h"
@@ -92,7 +93,7 @@ struct RandomModel
     std::vector<Val> weight_grads;
 
     void
-    build(uint64_t seed, int num_ops)
+    build(uint64_t seed, int num_ops, bool run_backward = true)
     {
         Rng rng(seed);
         std::vector<Val> pool;
@@ -156,6 +157,8 @@ struct RandomModel
             ol::reshape(Shape({1})),
             {g->apply1(ol::dotLastAxis(), {flat, ones})});
 
+        if (!run_backward)
+            return;
         auto gr = graph::backward(*g, loss, weights);
         weight_grads = gr.weight_grads;
         fetches = {loss};
@@ -374,6 +377,64 @@ TEST_P(PassFuzz, TimelineReplayMatchesPlanAndLivenessBound)
         EXPECT_GE(plan.pool_peak_bytes, bound)
             << repro(seed) << " pass=" << run_pass;
     }
+}
+
+TEST_P(PassFuzz, RandomLegalPipelinesPreserveBytes)
+{
+    const uint64_t seed = GetParam();
+    Rng rng(seed * 97 + 13);
+
+    // Baseline: autodiff alone, no optimization passes.
+    RandomModel baseline;
+    baseline.build(seed, 24, /*run_backward=*/false);
+    {
+        PipelineContext ctx(*baseline.g);
+        ctx.loss = baseline.loss;
+        ctx.wrt = baseline.weights;
+        buildPipeline("autodiff").runOrDie(ctx, "fuzz baseline");
+        baseline.fetches = ctx.fetches;
+    }
+    graph::Executor ex_a(baseline.fetches);
+    const auto out_a = ex_a.run(baseline.feed(seed * 31 + 7));
+
+    // A random subset of the optimization-pass pool in a random order
+    // after autodiff.  The contract says every such pipeline is
+    // statically legal (the transforms only ever need gradients), runs
+    // postcondition-clean, and never changes an output bit.
+    std::vector<std::string> pool = {"fusion", "recompute", "layout",
+                                     "gemm_warm", "verify"};
+    for (size_t i = pool.size(); i > 1; --i)
+        std::swap(pool[i - 1], pool[rng.uniformInt(i)]);
+    const size_t keep = rng.uniformInt(pool.size() + 1);
+    std::string spec = "autodiff";
+    for (size_t i = 0; i < keep; ++i) {
+        spec += ',';
+        spec += pool[i];
+    }
+
+    RandomModel optimized;
+    optimized.build(seed, 24, /*run_backward=*/false);
+    PipelineContext ctx(*optimized.g);
+    ctx.loss = optimized.loss;
+    ctx.wrt = optimized.weights;
+    ctx.recompute_config.overhead_budget_fraction = -1.0;
+    const PassManager pm = buildPipeline(spec);
+    ASSERT_TRUE(pm.validate(ctx.initialInvariants()).empty())
+        << repro(seed) << " spec=" << spec;
+    PassManager::RunOptions opts;
+    opts.what = "fuzz pipeline";
+    const PipelineReport report = pm.run(ctx, opts);
+    ASSERT_TRUE(report.ok()) << repro(seed) << " spec=" << spec
+                             << "\n"
+                             << report.toString();
+
+    graph::Executor ex_b(ctx.fetches);
+    const auto out_b = ex_b.run(optimized.feed(seed * 31 + 7));
+    const analysis::VerifyResult vr =
+        analysis::compareFetches(out_a, out_b);
+    EXPECT_TRUE(vr.shapes_match) << repro(seed) << " spec=" << spec;
+    EXPECT_EQ(vr.max_abs_diff, 0.0)
+        << repro(seed) << " spec=" << spec;
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PassFuzz,

@@ -17,13 +17,26 @@
  * live requests may ever share a (pool, slot) row.  This mode replaces
  * the graph lints; exit status is 0 when the journal is clean.
  *
+ * A third mode replays an arbitrary pass pipeline under the contract
+ * checker: --pipeline=SPEC (comma-separated pass names, or "default"
+ * for the resolved training spec) statically validates the pipeline's
+ * declared contracts first — an illegal ordering prints each contract
+ * violation with the offending pass pair and exits 1 without running
+ * anything — then runs the pipeline over freshly built forward graphs
+ * with EVERY registered checker between passes, printing per-stage IR
+ * snapshot diffs and the first failing invariant with its node chain.
+ * --inject=bad-shape appends a deliberately invariant-breaking pass,
+ * for checking that the postcondition auditors actually fire.
+ *
  * usage: echo-lint [--model=word_lm|nmt|all] [--policy=off|auto|all]
  *                  [--dot=PATH]
  *        echo-lint --serve-journal=PATH [--serve-slots=N]
+ *        echo-lint --pipeline=SPEC [--model=...] [--inject=bad-shape]
  */
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -33,6 +46,7 @@
 #include "echo/recompute_pass.h"
 #include "models/nmt.h"
 #include "models/word_lm.h"
+#include "pass/builtin_passes.h"
 
 namespace {
 
@@ -45,6 +59,8 @@ struct LintOptions
     std::string dot_path;       // empty = no dump
     std::string serve_journal;  // empty = graph-lint mode
     int serve_slots = 8;
+    std::string pipeline;       // empty = no pipeline replay
+    std::string inject;         // "" | "bad-shape"
 };
 
 /** One graph to lint: where it came from and what it computes. */
@@ -194,6 +210,123 @@ lintServeJournal(const LintOptions &opts)
     return report.ok() ? 0 : 1;
 }
 
+/** The injected mutation pass: declares a clean contract but corrupts
+ *  a reachable node's output shape, so the graph verifier's
+ *  postcondition audit must catch it (the mutation-test leg). */
+class BadShapePass : public pass::Pass
+{
+  public:
+    const char *name() const override { return "bad-shape"; }
+    void
+    run(pass::PipelineContext &ctx) override
+    {
+        // Corrupt a fetched value's recorded shape: nothing consumes a
+        // fetch, so no op's own shape inference trips first and the
+        // graph verifier gets to report the mismatch with its chain.
+        const std::vector<graph::Val> eff = ctx.effectiveFetches();
+        if (eff.empty())
+            return;
+        graph::Node *node = eff[0].node;
+        const auto idx = static_cast<size_t>(eff[0].index);
+        node->out_shapes[idx] =
+            Shape({node->out_shapes[idx].numel() + 1});
+    }
+};
+
+/**
+ * Replay @p spec over one freshly built forward graph: static
+ * contract validation first (illegal = print the violations, fail),
+ * then the run with every registered checker between passes.
+ */
+int
+replayPipeline(graph::Graph &g, const std::string &title,
+               const graph::Val &loss, const models::NamedWeights &weights,
+               const std::string &spec, const LintOptions &opts)
+{
+    pass::PassManager pm = pass::buildPipeline(spec);
+    if (opts.inject == "bad-shape")
+        pm.add(std::make_unique<BadShapePass>());
+
+    pass::PipelineContext ctx(g);
+    ctx.loss = loss;
+    ctx.wrt.reserve(weights.size());
+    for (const auto &[name, val] : weights)
+        ctx.wrt.push_back(val);
+
+    std::cout << "== " << title << " pipeline '" << pm.spec() << "': ";
+    const std::vector<pass::ContractViolation> violations =
+        pm.validate(ctx.initialInvariants());
+    if (!violations.empty()) {
+        std::cout << "statically ILLEGAL (" << violations.size()
+                  << " contract violation(s))\n";
+        for (const pass::ContractViolation &v : violations)
+            std::cout << "   " << v.message << "\n";
+        return 1;
+    }
+
+    pass::PassManager::RunOptions run_opts;
+    run_opts.all_checkers = true;
+    run_opts.what = "echo-lint --pipeline";
+    const pass::PipelineReport report = pm.run(ctx, run_opts);
+    std::cout << (report.ok() ? "clean\n" : "postcondition FAILURE\n")
+              << report.toString();
+    return report.ok() ? 0 : 1;
+}
+
+int
+lintPipelines(const LintOptions &opts)
+{
+    std::string spec = opts.pipeline;
+    if (spec == "default")
+        spec = pass::resolveSpec(pass::PipelineKind::kTraining);
+    for (const std::string &name : pass::parseSpec(spec)) {
+        if (!pass::isRegisteredPass(name)) {
+            std::cerr << "echo-lint: unknown pass '" << name
+                      << "' in --pipeline spec; registered:";
+            for (const std::string &reg : pass::registeredPassNames())
+                std::cerr << " " << reg;
+            std::cerr << "\n";
+            return 2;
+        }
+    }
+
+    int failures = 0;
+    if (opts.model == "word_lm" || opts.model == "all") {
+        models::WordLmConfig cfg;
+        cfg.vocab = 120;
+        cfg.hidden = 16;
+        cfg.layers = 2;
+        cfg.batch = 4;
+        cfg.seq_len = 10;
+        // Spec "none": the constructor leaves the forward graph
+        // untouched so the replay below owns every transform.
+        models::WordLmModel model(cfg, "none");
+        failures += replayPipeline(model.graph(), "word_lm",
+                                   model.loss(), model.weights(), spec,
+                                   opts);
+    }
+    if (opts.model == "nmt" || opts.model == "all") {
+        models::NmtConfig cfg;
+        cfg.src_vocab = 60;
+        cfg.tgt_vocab = 70;
+        cfg.hidden = 16;
+        cfg.enc_layers = 1;
+        cfg.batch = 3;
+        cfg.src_len = 8;
+        cfg.tgt_len = 8;
+        models::NmtModel model(cfg, "none");
+        failures += replayPipeline(model.graph(), "nmt", model.loss(),
+                                   model.weights(), spec, opts);
+    }
+
+    if (failures == 0)
+        std::cout << "echo-lint: all pipelines clean\n";
+    else
+        std::cout << "echo-lint: " << failures
+                  << " pipeline replay(s) failed\n";
+    return failures;
+}
+
 bool
 parseArgs(int argc, char **argv, LintOptions &opts)
 {
@@ -209,12 +342,18 @@ parseArgs(int argc, char **argv, LintOptions &opts)
             opts.serve_journal = arg.substr(16);
         } else if (arg.rfind("--serve-slots=", 0) == 0) {
             opts.serve_slots = std::stoi(arg.substr(14));
+        } else if (arg.rfind("--pipeline=", 0) == 0) {
+            opts.pipeline = arg.substr(11);
+        } else if (arg.rfind("--inject=", 0) == 0) {
+            opts.inject = arg.substr(9);
         } else {
             std::cerr << "echo-lint: unknown argument " << arg << "\n"
                       << "usage: echo-lint [--model=word_lm|nmt|all] "
                          "[--policy=off|auto|all] [--dot=PATH]\n"
                          "       echo-lint --serve-journal=PATH "
-                         "[--serve-slots=N]\n";
+                         "[--serve-slots=N]\n"
+                         "       echo-lint --pipeline=SPEC "
+                         "[--model=...] [--inject=bad-shape]\n";
             return false;
         }
     }
@@ -224,6 +363,14 @@ parseArgs(int argc, char **argv, LintOptions &opts)
                            opts.policy == "auto" || opts.policy == "all";
     if (!model_ok || !policy_ok) {
         std::cerr << "echo-lint: bad --model or --policy value\n";
+        return false;
+    }
+    if (!opts.inject.empty() && opts.inject != "bad-shape") {
+        std::cerr << "echo-lint: bad --inject value (only bad-shape)\n";
+        return false;
+    }
+    if (!opts.inject.empty() && opts.pipeline.empty()) {
+        std::cerr << "echo-lint: --inject needs --pipeline\n";
         return false;
     }
     return true;
@@ -240,6 +387,8 @@ main(int argc, char **argv)
 
     if (!opts.serve_journal.empty())
         return lintServeJournal(opts);
+    if (!opts.pipeline.empty())
+        return lintPipelines(opts);
 
     int failures = 0;
     bool dot_written = false;

@@ -30,7 +30,7 @@
 #include <vector>
 
 #include "data/batcher.h"
-#include "echo/recompute_pass.h"
+#include "pass/builtin_passes.h"
 #include "graph/executor.h"
 #include "memory/planner.h"
 #include "models/nmt.h"
@@ -211,8 +211,13 @@ main(int argc, char **argv)
         cfg.batch = 8;
         cfg.seq_len = 16;
         models::WordLmModel model(cfg);
-        const pass::PassResult pr = pass::runRecomputePass(
-            model.graph(), model.fetches(), pass_cfg);
+        pass::PipelineContext pctx(model.graph());
+        pctx.fetches = model.fetches();
+        pctx.weight_grads = model.weightGrads();
+        pctx.recompute_config = pass_cfg;
+        pass::buildPipeline("recompute")
+            .runOrDie(pctx, "echo-trace recompute");
+        const pass::PassResult pr = pctx.recompute;
         std::cout << "echo pass: " << pr.num_regions << " regions, "
                   << pr.bytes_saved << " B saved, " << pr.bytes_added
                   << " B added\n";
@@ -235,8 +240,13 @@ main(int argc, char **argv)
         cfg.src_len = 10;
         cfg.tgt_len = 10;
         models::NmtModel model(cfg);
-        const pass::PassResult pr = pass::runRecomputePass(
-            model.graph(), model.fetches(), pass_cfg);
+        pass::PipelineContext pctx(model.graph());
+        pctx.fetches = model.fetches();
+        pctx.weight_grads = model.weightGrads();
+        pctx.recompute_config = pass_cfg;
+        pass::buildPipeline("recompute")
+            .runOrDie(pctx, "echo-trace recompute");
+        const pass::PassResult pr = pctx.recompute;
         std::cout << "echo pass: " << pr.num_regions << " regions, "
                   << pr.bytes_saved << " B saved, " << pr.bytes_added
                   << " B added\n";

@@ -1,17 +1,27 @@
 /**
  * @file
- * Serving throughput/latency bench: closed-loop load against the
- * inference server for both paper models, end-to-end from checkpoints.
+ * Serving throughput/latency bench, two modes:
  *
- * For each model a freshly initialized parameter store is saved with
- * saveParams and served back through InferenceSession::fromCheckpoint,
- * exercising the full load path.  Clients submit back-to-back
- * (closed-loop), so the offered load scales with the client count; at
- * saturation the dynamic batcher should fill micro-batches and deliver
- * a clear throughput multiple over a single-slot (batching-off)
- * server at the same thread count — the row pair the table ends with.
+ * Closed-loop (default): clients submit back-to-back against both
+ * paper models end-to-end from checkpoints; at saturation the batcher
+ * should deliver a clear throughput multiple over a single-slot
+ * server — the row pair the table ends with.
+ *
+ * Open-loop (--open-loop [--reps N]): a heavy-tailed arrival schedule
+ * — bursty Poisson arrival times, Zipfian prefix lengths — is
+ * generated once and replayed verbatim against the continuous
+ * scheduler and the legacy run-to-completion batcher, so both see the
+ * SAME offered load with arrivals decoupled from completions.  This
+ * is the comparison the continuous scheduler exists for: tail latency
+ * at equal offered load, where run-to-completion pays max-wait stalls
+ * and head-of-line blocking that slot recycling avoids.  Rows mirror
+ * to results/serve_throughput_openloop.csv.
  */
+#include <algorithm>
 #include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
 #include <future>
 #include <thread>
 #include <vector>
@@ -128,11 +138,200 @@ makeNmtCheckpoint()
     return path;
 }
 
+// ------------------------------------------------------- open loop --
+
+/** One scheduled arrival of the open-loop trace. */
+struct Arrival
+{
+    int64_t at_us = 0; ///< submission time relative to trace start
+    serve::Request req;
+};
+
+/**
+ * The heavy-tailed trace: arrivals come in bursts whose start times
+ * form a Poisson process (exponential gaps), burst sizes are
+ * geometric, and prefix lengths are Zipfian over [1, 8] — most
+ * requests are short, a fat tail is long.  The same seed always
+ * yields the same trace, so both schedulers see identical load.
+ */
+std::vector<Arrival>
+makeOpenLoopTrace(uint64_t seed, int n, double mean_gap_us)
+{
+    // Zipf(s=1.2) cumulative weights over lengths 1..8.
+    std::vector<double> cdf;
+    double total = 0.0;
+    for (int len = 1; len <= 8; ++len) {
+        total += 1.0 / std::pow(static_cast<double>(len), 1.2);
+        cdf.push_back(total);
+    }
+
+    Rng rng(seed);
+    std::vector<Arrival> trace;
+    double t_us = 0.0;
+    while (static_cast<int>(trace.size()) < n) {
+        // Exponential inter-burst gap, geometric burst size (p=0.35).
+        const double u = std::max(
+            1e-12, static_cast<double>(rng.uniformInt(1u << 20)) /
+                       static_cast<double>(1u << 20));
+        t_us += -std::log(u) * mean_gap_us;
+        int burst = 1;
+        while (burst < 8 && rng.uniformInt(100) < 65)
+            ++burst;
+        for (int b = 0; b < burst &&
+                        static_cast<int>(trace.size()) < n;
+             ++b) {
+            Arrival a;
+            a.at_us = static_cast<int64_t>(t_us) + b; // back-to-back
+            const double pick =
+                total * static_cast<double>(rng.uniformInt(1u << 20)) /
+                static_cast<double>(1u << 20);
+            size_t len = 1;
+            while (len < cdf.size() && cdf[len - 1] < pick)
+                ++len;
+            for (size_t tk = 0; tk < len; ++tk)
+                a.req.tokens.push_back(
+                    3 + static_cast<int64_t>(rng.uniformInt(40)));
+            a.req.top_k = 1 + static_cast<int>(rng.uniformInt(4));
+            trace.push_back(std::move(a));
+        }
+    }
+    return trace;
+}
+
+struct OpenLoopResult
+{
+    double offered_rps = 0.0;
+    int64_t completed = 0;
+    double p50_ms = 0.0;
+    double p95_ms = 0.0;
+    double p99_ms = 0.0;
+    double wait_p99_ms = 0.0;
+    double mean_batch = 0.0;
+    int64_t splices = 0;
+    int64_t recycled = 0;
+};
+
+/** Replay @p trace against one scheduler; arrivals never wait on
+ *  completions (open loop). */
+OpenLoopResult
+replayTrace(const std::string &ckpt, const serve::SessionConfig &scfg,
+            serve::SchedulerKind kind, const std::vector<Arrival> &trace)
+{
+    auto session = serve::InferenceSession::fromCheckpoint(ckpt, scfg);
+    serve::ServerConfig server_cfg;
+    server_cfg.queue_capacity = 4096; // measure latency, not shedding
+    server_cfg.batch_admit_fraction = 1.0;
+    server_cfg.max_wait = std::chrono::microseconds(1000);
+    server_cfg.scheduler = kind;
+    serve::Server server(std::move(session), server_cfg);
+
+    std::vector<std::future<serve::Response>> futures;
+    futures.reserve(trace.size());
+    const auto start = std::chrono::steady_clock::now();
+    for (const Arrival &a : trace) {
+        std::this_thread::sleep_until(
+            start + std::chrono::microseconds(a.at_us));
+        futures.push_back(server.submit(serve::Request(a.req)));
+    }
+    for (auto &f : futures)
+        f.get();
+    server.stop();
+
+    const serve::ServerStats stats = server.stats();
+    OpenLoopResult res;
+    res.offered_rps = static_cast<double>(trace.size()) /
+                      (static_cast<double>(trace.back().at_us) / 1e6);
+    res.completed = stats.completed;
+    res.p50_ms = stats.latency_p50_us / 1000.0;
+    res.p95_ms = stats.latency_p95_us / 1000.0;
+    res.p99_ms = stats.latency_p99_us / 1000.0;
+    res.wait_p99_ms = stats.wait_p99_us / 1000.0;
+    res.mean_batch = stats.mean_batch_requests;
+    res.splices = stats.splices;
+    res.recycled = stats.recycled_slots;
+    return res;
+}
+
+int
+runOpenLoop(int reps)
+{
+    bench::begin(
+        "serve_throughput --open-loop",
+        "tail latency at equal offered load: continuous "
+        "(iteration-level) scheduling vs run-to-completion batching "
+        "under a bursty-Poisson / Zipfian-length arrival trace");
+    std::error_code ec;
+    std::filesystem::create_directories("results", ec);
+
+    serve::SessionConfig scfg;
+    scfg.slots = 8;
+    scfg.buckets = {8};
+
+    const std::string ckpt = makeWordLmCheckpoint();
+    Table table({"scheduler", "rep", "offered_rps", "completed",
+                 "p50_ms", "p95_ms", "p99_ms", "wait_p99_ms",
+                 "mean_batch", "splices", "recycled"});
+
+    std::vector<double> p99_cont, p99_batch;
+    for (int rep = 0; rep < reps; ++rep) {
+        const std::vector<Arrival> trace =
+            makeOpenLoopTrace(1000 + static_cast<uint64_t>(rep), 200,
+                              /*mean_gap_us=*/700.0);
+        for (const serve::SchedulerKind kind :
+             {serve::SchedulerKind::kContinuous,
+              serve::SchedulerKind::kDynamicBatch}) {
+            const bool cont =
+                kind == serve::SchedulerKind::kContinuous;
+            const OpenLoopResult r =
+                replayTrace(ckpt, scfg, kind, trace);
+            (cont ? p99_cont : p99_batch).push_back(r.p99_ms);
+            table.addRow({cont ? "continuous" : "batch",
+                          std::to_string(rep),
+                          Table::fmt(r.offered_rps, 1),
+                          std::to_string(r.completed),
+                          Table::fmt(r.p50_ms, 3),
+                          Table::fmt(r.p95_ms, 3),
+                          Table::fmt(r.p99_ms, 3),
+                          Table::fmt(r.wait_p99_ms, 3),
+                          Table::fmt(r.mean_batch, 2),
+                          std::to_string(r.splices),
+                          std::to_string(r.recycled)});
+        }
+    }
+    bench::emit(table, "serve_throughput_openloop");
+
+    auto median = [](std::vector<double> v) {
+        std::sort(v.begin(), v.end());
+        return v[v.size() / 2];
+    };
+    const double cont = median(p99_cont);
+    const double batch = median(p99_batch);
+    bench::note("open-loop p99 at equal offered load: continuous " +
+                Table::fmt(cont, 3) + " ms vs run-to-completion " +
+                Table::fmt(batch, 3) + " ms (" +
+                Table::fmt(batch / cont, 2) + "x, median of " +
+                std::to_string(reps) + " rep(s))");
+    return 0;
+}
+
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bool open_loop = false;
+    int reps = 3;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--open-loop") == 0)
+            open_loop = true;
+        else if (std::strncmp(argv[i], "--reps=", 7) == 0)
+            reps = std::max(1, std::atoi(argv[i] + 7));
+        else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc)
+            reps = std::max(1, std::atoi(argv[++i]));
+    }
+    if (open_loop)
+        return runOpenLoop(reps);
+
     bench::begin("serve_throughput",
                  "inference-serving throughput and latency percentiles "
                  "under closed-loop load (dynamic batching on/off)");

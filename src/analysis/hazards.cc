@@ -281,4 +281,48 @@ detectWorkspaceAliasing(const std::vector<SlotInterval> &journal,
     return report;
 }
 
+AnalysisReport auditSlotRecycling(const std::vector<SlotLease> &journal,
+                                  int num_slots)
+{
+    // Exclusivity and range reuse the interval checker verbatim: a
+    // lease is a SlotInterval plus lifecycle facts.
+    std::vector<SlotInterval> intervals;
+    intervals.reserve(journal.size());
+    for (const SlotLease &lease : journal) {
+        intervals.push_back(SlotInterval{lease.request_id, lease.pool,
+                                         lease.slot, lease.acquired,
+                                         lease.released});
+    }
+    AnalysisReport report = detectWorkspaceAliasing(intervals, num_slots);
+
+    std::unordered_map<int64_t, int> leases_per_request;
+    for (const SlotLease &lease : journal) {
+        if (lease.reinit != 1) {
+            report.add(Check::kSlotStateLeak, Severity::kError,
+                       "request " + std::to_string(lease.request_id) +
+                           " spliced into pool " +
+                           std::to_string(lease.pool) + " slot " +
+                           std::to_string(lease.slot) +
+                           " without re-initializing the state rows");
+        }
+        if (lease.acquired >= lease.released) {
+            report.add(Check::kLifecycleViolation, Severity::kError,
+                       "request " + std::to_string(lease.request_id) +
+                           " has an empty or inverted lease [" +
+                           std::to_string(lease.acquired) + ", " +
+                           std::to_string(lease.released) + ")");
+        }
+        ++leases_per_request[lease.request_id];
+    }
+    for (const auto &[id, count] : leases_per_request) {
+        if (count > 1) {
+            report.add(Check::kLifecycleViolation, Severity::kError,
+                       "request " + std::to_string(id) +
+                           " terminated " + std::to_string(count) +
+                           " times (must be exactly once)");
+        }
+    }
+    return report;
+}
+
 } // namespace echo::analysis

@@ -76,6 +76,48 @@ AnalysisReport
 detectWorkspaceAliasing(const std::vector<SlotInterval> &journal,
                         int num_slots);
 
+/** Terminal outcome of one slot lease (how the occupancy ended). */
+enum class LeaseStatus {
+    kServed = 0,   ///< ran to EOS / length cap; payload delivered
+    kCancelled,    ///< evicted by an explicit client cancellation
+    kExpired,      ///< evicted because its deadline budget ran out
+};
+
+/**
+ * One slot occupancy recorded by the continuous scheduler.  Compared to
+ * the run-to-completion SlotInterval, a lease carries the lifecycle
+ * facts the recycling scheduler must get right: whether the state rows
+ * were re-initialized when the request was spliced in (@p reinit), and
+ * how the occupancy terminated (@p status).  Interval bounds are in
+ * scheduler-iteration units, half-open [acquired, released).
+ */
+struct SlotLease
+{
+    int64_t request_id = -1;
+    int64_t pool = 0;
+    int slot = -1;
+    int64_t acquired = 0;
+    int64_t released = 0;
+    /** 1 iff the state rows were zeroed/reset at splice time. */
+    int reinit = 1;
+    LeaseStatus status = LeaseStatus::kServed;
+};
+
+/**
+ * Audit a continuous-batching slot-recycling journal:
+ *  - exclusivity: no two leases overlap on one (pool, slot), and every
+ *    slot lies in range (delegates to detectWorkspaceAliasing),
+ *  - no state leakage: every lease must have re-initialized its state
+ *    rows at splice time (reinit == 1), else the new occupant inherited
+ *    the previous request's hidden state,
+ *  - lifecycle: every lease is a well-formed half-open interval
+ *    (acquired < released), and every request id appears exactly once —
+ *    a request that terminates twice (or holds two slots) violates the
+ *    admitted-requests-terminate-exactly-once contract.
+ */
+AnalysisReport auditSlotRecycling(const std::vector<SlotLease> &journal,
+                                  int num_slots);
+
 } // namespace echo::analysis
 
 #endif // ECHO_ANALYSIS_HAZARDS_H

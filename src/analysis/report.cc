@@ -85,6 +85,10 @@ checkName(Check check)
         return "slot-aliasing";
       case Check::kSlotOutOfRange:
         return "slot-out-of-range";
+      case Check::kSlotStateLeak:
+        return "slot-state-leak";
+      case Check::kLifecycleViolation:
+        return "lifecycle-violation";
       case Check::kFusionIllegalGroup:
         return "fusion-illegal-group";
       case Check::kFusionValueMismatch:

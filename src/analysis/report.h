@@ -49,6 +49,8 @@ enum class Check {
     // Serving workspace checker.
     kSlotAliasing,   ///< two live requests mapped to one workspace slot
     kSlotOutOfRange, ///< a request mapped outside the slot range
+    kSlotStateLeak,  ///< a slot occupant inherited the previous state rows
+    kLifecycleViolation, ///< a request with zero or multiple terminal leases
     // Fusion auditor.
     kFusionIllegalGroup,  ///< fused group breaks a legality rule
     kFusionValueMismatch, ///< fused program != original chain (bytes)

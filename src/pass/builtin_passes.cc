@@ -321,6 +321,21 @@ makePass(const std::string &name)
     return factory();
 }
 
+std::string
+presetSpec(const std::string &name)
+{
+    // Per-workload pipelines (one level deep: presets expand to real
+    // pass names only).  Serving graphs are forward-only, so no
+    // autodiff; gemm_warm pre-tunes the skewed decode shapes; the NMT
+    // preset re-audits the fusion journal because its attention chains
+    // are the most fusion-stressed graphs we build.
+    if (name == "serve-wordlm")
+        return "fusion,gemm_warm";
+    if (name == "serve-nmt")
+        return "fusion,audit_fusion,gemm_warm";
+    return "";
+}
+
 std::vector<std::string>
 parseSpec(const std::string &spec)
 {
@@ -331,8 +346,16 @@ parseSpec(const std::string &spec)
         const size_t first = current.find_first_not_of(" \t");
         if (first == std::string::npos)
             continue;
-        const size_t last = current.find_last_not_of(" \t");
-        names.push_back(current.substr(first, last - first + 1));
+        const std::string name =
+            current.substr(first, current.find_last_not_of(" \t") -
+                                      first + 1);
+        const std::string preset = presetSpec(name);
+        if (preset.empty()) {
+            names.push_back(name);
+            continue;
+        }
+        for (const std::string &expanded : parseSpec(preset))
+            names.push_back(expanded);
     }
     if (names.size() == 1 && names[0] == "none")
         names.clear();
@@ -347,6 +370,10 @@ defaultSpec(PipelineKind kind)
         return "autodiff,fusion";
       case PipelineKind::kInference:
         return "fusion";
+      case PipelineKind::kServeWordLm:
+        return "serve-wordlm";
+      case PipelineKind::kServeNmt:
+        return "serve-nmt";
     }
     return "";
 }

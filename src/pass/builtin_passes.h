@@ -54,14 +54,27 @@ std::unique_ptr<Pass> makePass(const std::string &name);
 // Pipeline specs
 // ---------------------------------------------------------------------
 
-/** Split a spec on commas, trimming blanks.  The spec "none" (or "")
+/** Split a spec on commas, trimming blanks, and expand preset names
+ *  (see presetSpec) into their pass lists.  The spec "none" (or "")
  *  yields an empty pipeline. */
 std::vector<std::string> parseSpec(const std::string &spec);
 
+/**
+ * The pass list a named preset stands for, or "" when @p name is not a
+ * preset.  Presets name whole per-workload pipelines usable anywhere a
+ * spec is ("serve-wordlm" in ECHO_PASSES, echo-lint --pipeline, ...):
+ *
+ *   serve-wordlm   "fusion,gemm_warm"               (LM step graphs)
+ *   serve-nmt      "fusion,audit_fusion,gemm_warm"  (NMT enc/dec graphs)
+ */
+std::string presetSpec(const std::string &name);
+
 /** Which default a call site wants when no spec is given. */
 enum class PipelineKind {
-    kTraining,  ///< default "autodiff,fusion"
-    kInference, ///< default "fusion" (forward-only step graphs)
+    kTraining,   ///< default "autodiff,fusion"
+    kInference,  ///< default "fusion" (forward-only step graphs)
+    kServeWordLm, ///< default preset "serve-wordlm"
+    kServeNmt,    ///< default preset "serve-nmt"
 };
 
 /** The hard-coded default spec for @p kind (no env consulted). */

@@ -81,6 +81,12 @@ DynamicBatcher::next(MicroBatch &out)
             std::chrono::duration_cast<std::chrono::microseconds>(
                 deadline - now));
     }
+    // A request can land in the queue during the final waitNonEmpty
+    // sleep — i.e. exactly at the deadline.  Without this drain it
+    // would miss the flushing batch, anchor the NEXT batch, and sit
+    // out a second full max_wait (its wait latency counted against
+    // both batches).  Drain once more so boundary arrivals ride along.
+    drainQueue();
 
     // Take up to max_batch same-bucket requests in FIFO order.
     out.bucket_len = bucket;

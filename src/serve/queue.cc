@@ -13,17 +13,41 @@ rejectReasonName(RejectReason reason)
         return "none";
       case RejectReason::kQueueFull:
         return "queue-full";
+      case RejectReason::kOverloaded:
+        return "overloaded";
       case RejectReason::kTooLong:
         return "too-long";
       case RejectReason::kEmpty:
         return "empty";
+      case RejectReason::kBadModel:
+        return "bad-model";
       case RejectReason::kShutdown:
         return "shutdown";
+      case RejectReason::kCancelled:
+        return "cancelled";
+      case RejectReason::kExpired:
+        return "deadline-expired";
     }
     return "?";
 }
 
-RequestQueue::RequestQueue(size_t capacity) : capacity_(capacity) {}
+const char *
+tierName(Tier tier)
+{
+    switch (tier) {
+      case Tier::kInteractive:
+        return "interactive";
+      case Tier::kBatch:
+        return "batch";
+    }
+    return "?";
+}
+
+RequestQueue::RequestQueue(size_t capacity, size_t batch_capacity)
+    : capacity_(capacity),
+      batch_capacity_(batch_capacity == 0 ? capacity : batch_capacity)
+{
+}
 
 size_t
 RequestQueue::size() const
@@ -43,6 +67,8 @@ RequestQueue::tryPush(Request r)
         "serve.queue.reject_full", obs::CounterKind::kScheduling);
     static obs::Counter &shut = obs::counter(
         "serve.queue.reject_shutdown", obs::CounterKind::kScheduling);
+    static obs::Counter &shed = obs::counter(
+        "serve.queue.reject_overloaded", obs::CounterKind::kScheduling);
 
     {
         std::lock_guard<std::mutex> lock(mu_);
@@ -53,6 +79,13 @@ RequestQueue::tryPush(Request r)
         if (items_.size() >= capacity_) {
             full.add(1);
             return RejectReason::kQueueFull;
+        }
+        // SLO-tiered admission: batch-tier traffic sheds at its own
+        // lower line so a burst cannot starve interactive requests of
+        // the remaining queue headroom.
+        if (r.tier == Tier::kBatch && items_.size() >= batch_capacity_) {
+            shed.add(1);
+            return RejectReason::kOverloaded;
         }
         items_.push_back(std::move(r));
         if (obs::traceEnabled())

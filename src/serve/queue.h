@@ -29,16 +29,24 @@ namespace echo::serve {
 class RequestQueue
 {
   public:
-    explicit RequestQueue(size_t capacity);
+    /**
+     * @p batch_capacity is the SLO shed line: batch-tier requests are
+     * refused (kOverloaded) once the queue holds that many items, so
+     * the headroom up to @p capacity stays reserved for interactive
+     * traffic.  0 means no tiering (shed line == capacity).
+     */
+    explicit RequestQueue(size_t capacity, size_t batch_capacity = 0);
 
     size_t capacity() const { return capacity_; }
+    size_t batchCapacity() const { return batch_capacity_; }
 
     /** Current depth (racy snapshot; for tests and counters). */
     size_t size() const;
 
     /**
      * Admit @p r or refuse immediately: kQueueFull at capacity,
-     * kShutdown after close().  Never blocks.
+     * kOverloaded for batch-tier pushes past the shed line, kShutdown
+     * after close().  Never blocks.
      */
     RejectReason tryPush(Request r);
 
@@ -65,6 +73,7 @@ class RequestQueue
 
   private:
     const size_t capacity_;
+    const size_t batch_capacity_;
     mutable std::mutex mu_;
     std::condition_variable cv_;
     std::deque<Request> items_;

@@ -19,6 +19,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 namespace echo::serve {
@@ -26,15 +27,29 @@ namespace echo::serve {
 /** Why the server refused (or failed) a request. */
 enum class RejectReason
 {
-    kNone,      ///< not rejected
-    kQueueFull, ///< admission control: the bounded queue was full
-    kTooLong,   ///< longer than the largest configured length bucket
-    kEmpty,     ///< no tokens
-    kShutdown,  ///< submitted after stop()
+    kNone,       ///< not rejected
+    kQueueFull,  ///< admission control: the bounded queue was full
+    kOverloaded, ///< SLO shed: batch-tier admission above the shed line
+    kTooLong,    ///< longer than the largest configured length bucket
+    kEmpty,      ///< no tokens
+    kBadModel,   ///< names a model no loaded session serves
+    kShutdown,   ///< submitted after stop()
+    kCancelled,  ///< cancelled by the client before completion
+    kExpired,    ///< deadline budget ran out before completion
 };
 
 /** Stable name for logs and CLI output. */
 const char *rejectReasonName(RejectReason reason);
+
+/** SLO class of a request (admission and splice priority). */
+enum class Tier
+{
+    kInteractive, ///< admitted up to full queue capacity, spliced first
+    kBatch,       ///< shed early under load (kOverloaded)
+};
+
+/** Stable name for logs and CLI output. */
+const char *tierName(Tier tier);
 
 /** One unit of serving work. */
 struct Request
@@ -53,6 +68,23 @@ struct Request
 
     /** Word LM: how many next-token candidates to return. */
     int top_k = 5;
+
+    /** SLO class; batch-tier requests are shed first under load. */
+    Tier tier = Tier::kBatch;
+
+    /**
+     * Deadline budget in microseconds from admission; 0 disables.  A
+     * request whose budget runs out before it completes resolves with
+     * RejectReason::kExpired.
+     */
+    int64_t deadline_us = 0;
+
+    /**
+     * Which session kind should serve this ("word_lm" / "nmt"); ""
+     * routes to the first loaded session.  Mixed-traffic servers load
+     * one session per model family.
+     */
+    std::string model;
 
     /** Set by the server at admission (latency accounting). */
     std::chrono::steady_clock::time_point enqueued_at{};
@@ -77,6 +109,7 @@ struct Response
 
     // Diagnostics (not covered by the determinism contract).
     double latency_us = 0.0;     ///< admission -> response
+    double wait_us = 0.0;        ///< admission -> batch emission / splice
     int64_t batch_requests = 0;  ///< live requests in its micro-batch
     int64_t bucket_len = 0;      ///< length bucket it was padded to
 };

@@ -1,18 +1,64 @@
 #include "serve/server.h"
 
+#include <algorithm>
+
 #include "core/logging.h"
 #include "obs/counters.h"
 #include "obs/trace.h"
 
 namespace echo::serve {
 
+namespace {
+
+size_t
+shedLine(const ServerConfig &config)
+{
+    if (config.batch_admit_fraction >= 1.0)
+        return 0; // no tiering
+    const double line = config.batch_admit_fraction *
+                        static_cast<double>(config.queue_capacity);
+    return std::max<size_t>(1, static_cast<size_t>(line));
+}
+
+std::vector<std::unique_ptr<InferenceSession>>
+singleton(std::unique_ptr<InferenceSession> session)
+{
+    std::vector<std::unique_ptr<InferenceSession>> sessions;
+    sessions.push_back(std::move(session));
+    return sessions;
+}
+
+} // namespace
+
 Server::Server(std::unique_ptr<InferenceSession> session,
                ServerConfig config)
-    : session_(std::move(session)), config_(config),
-      queue_(config_.queue_capacity)
+    : Server(singleton(std::move(session)), config)
 {
-    ECHO_REQUIRE(session_ != nullptr, "server needs a session");
-    worker_ = std::thread([this] { workerLoop(); });
+}
+
+Server::Server(std::vector<std::unique_ptr<InferenceSession>> sessions,
+               ServerConfig config)
+    : sessions_(std::move(sessions)), config_(config),
+      queue_(config_.queue_capacity, shedLine(config_))
+{
+    ECHO_REQUIRE(!sessions_.empty(), "server needs a session");
+    for (const auto &session : sessions_)
+        ECHO_REQUIRE(session != nullptr, "server got a null session");
+    if (config_.scheduler == SchedulerKind::kContinuous) {
+        std::vector<InferenceSession *> borrowed;
+        for (const auto &session : sessions_)
+            borrowed.push_back(session.get());
+        scheduler_ = std::make_unique<ContinuousScheduler>(
+            std::move(borrowed), queue_,
+            [this](Response resp) { resolveResponse(std::move(resp)); });
+        worker_ = std::thread([this] { scheduler_->run(); });
+    } else {
+        ECHO_REQUIRE(sessions_.size() == 1,
+                     "the run-to-completion batcher drives a single "
+                     "session; use SchedulerKind::kContinuous for "
+                     "mixed traffic");
+        worker_ = std::thread([this] { batchWorkerLoop(); });
+    }
 }
 
 Server::~Server()
@@ -44,11 +90,24 @@ Server::submit(Request r)
     std::promise<Response> promise;
     std::future<Response> future = promise.get_future();
 
+    // Route before admission: length limits are per model family.
+    const InferenceSession *target = nullptr;
+    if (r.model.empty()) {
+        target = sessions_.front().get();
+    } else {
+        for (const auto &session : sessions_)
+            if (r.model == session->kind()) {
+                target = session.get();
+                break;
+            }
+    }
+
     RejectReason reason = RejectReason::kNone;
-    if (r.tokens.empty())
+    if (target == nullptr)
+        reason = RejectReason::kBadModel;
+    else if (r.tokens.empty())
         reason = RejectReason::kEmpty;
-    else if (static_cast<int64_t>(r.tokens.size()) >
-             session_->maxLength())
+    else if (static_cast<int64_t>(r.tokens.size()) > target->maxLength())
         reason = RejectReason::kTooLong;
 
     if (reason == RejectReason::kNone) {
@@ -82,18 +141,59 @@ Server::submit(Request r)
     return future;
 }
 
+bool
+Server::cancel(int64_t id)
+{
+    if (scheduler_ == nullptr)
+        return false;
+    // Forward only ids still inflight: the scheduler retains a cancel
+    // until the id terminates, so a cancel for an already-resolved (or
+    // never-admitted) request must not enter its set.
+    {
+        std::lock_guard<std::mutex> lock(inflight_mu_);
+        if (inflight_.find(id) == inflight_.end())
+            return false;
+    }
+    scheduler_->cancel(id);
+    return true;
+}
+
 void
-Server::workerLoop()
+Server::resolveResponse(Response resp)
+{
+    {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        if (resp.ok) {
+            ++completed_;
+            latency_us_.add(resp.latency_us);
+            wait_us_.add(resp.wait_us);
+        } else if (resp.reject == RejectReason::kCancelled) {
+            ++cancelled_;
+        } else if (resp.reject == RejectReason::kExpired) {
+            ++expired_;
+        }
+    }
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    auto it = inflight_.find(resp.id);
+    ECHO_CHECK(it != inflight_.end(), "response for unknown request ",
+               resp.id);
+    it->second.set_value(std::move(resp));
+    inflight_.erase(it);
+}
+
+void
+Server::batchWorkerLoop()
 {
     static obs::Counter &completed_ctr = obs::counter(
         "serve.requests.completed", obs::CounterKind::kScheduling);
     static obs::Counter &batch_ctr = obs::counter(
         "serve.batches", obs::CounterKind::kScheduling);
 
+    InferenceSession &session = *sessions_.front();
     BatcherConfig bcfg;
-    bcfg.max_batch = session_->config().slots;
+    bcfg.max_batch = session.config().slots;
     bcfg.max_wait = config_.max_wait;
-    bcfg.buckets = session_->config().buckets;
+    bcfg.buckets = session.config().buckets;
     DynamicBatcher batcher(bcfg, queue_);
 
     MicroBatch mb;
@@ -105,7 +205,11 @@ Server::workerLoop()
                        {{"requests",
                          static_cast<int64_t>(mb.requests.size())},
                         {"bucket", mb.bucket_len}});
-        session_->runBatch(mb, responses);
+        // Queue-wait ends at emission, exactly once per request: a
+        // request is in exactly one emitted batch, however long it sat
+        // in pending_ across earlier flushes of other buckets.
+        const auto emitted_at = std::chrono::steady_clock::now();
+        session.runBatch(mb, responses);
         const auto now = std::chrono::steady_clock::now();
 
         batch_ctr.add(1);
@@ -123,8 +227,16 @@ Server::workerLoop()
                         now - mb.requests[i].enqueued_at)
                         .count() /
                     1000.0;
+                const double wait =
+                    std::chrono::duration_cast<
+                        std::chrono::nanoseconds>(
+                        emitted_at - mb.requests[i].enqueued_at)
+                        .count() /
+                    1000.0;
                 responses[i].latency_us = us;
+                responses[i].wait_us = wait;
                 latency_us_.add(us);
+                wait_us_.add(wait);
             }
         }
         std::lock_guard<std::mutex> lock(inflight_mu_);
@@ -154,16 +266,53 @@ Server::stats() const
     s.accepted = accepted_;
     s.rejected = rejected_;
     s.completed = completed_;
-    s.batches = batches_;
-    s.mean_batch_requests =
-        batches_ == 0 ? 0.0
-                      : static_cast<double>(batched_requests_) /
-                            static_cast<double>(batches_);
+    s.cancelled = cancelled_;
+    s.expired = expired_;
+    if (scheduler_ != nullptr) {
+        const SchedulerStats sched = scheduler_->stats();
+        s.batches = sched.steps + sched.direct;
+        s.mean_batch_requests =
+            sched.steps == 0
+                ? 0.0
+                : static_cast<double>(sched.stepped_rows) /
+                      static_cast<double>(sched.steps);
+        s.splices = sched.splices;
+        s.recycled_slots = sched.recycled;
+    } else {
+        s.batches = batches_;
+        s.mean_batch_requests =
+            batches_ == 0 ? 0.0
+                          : static_cast<double>(batched_requests_) /
+                                static_cast<double>(batches_);
+    }
     s.latency_mean_us = latency_us_.mean();
     s.latency_p50_us = latency_us_.p50();
     s.latency_p95_us = latency_us_.p95();
     s.latency_p99_us = latency_us_.p99();
+    s.wait_count = static_cast<int64_t>(wait_us_.count());
+    s.wait_mean_us = wait_us_.mean();
+    s.wait_p50_us = wait_us_.p50();
+    s.wait_p95_us = wait_us_.p95();
+    s.wait_p99_us = wait_us_.p99();
     return s;
+}
+
+std::vector<analysis::SlotLease>
+Server::leaseJournal() const
+{
+    ECHO_REQUIRE(scheduler_ != nullptr,
+                 "the slot-recycling journal exists only under "
+                 "SchedulerKind::kContinuous");
+    return scheduler_->leaseJournal();
+}
+
+int64_t
+Server::journalSlots() const
+{
+    int64_t slots = 1;
+    for (const auto &session : sessions_)
+        slots = std::max(slots, session->config().slots);
+    return slots;
 }
 
 } // namespace echo::serve

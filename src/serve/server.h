@@ -1,17 +1,23 @@
 /**
  * @file
- * The serving front end: admission, a worker loop driving the dynamic
- * batcher into an InferenceSession, and latency accounting.
+ * The serving front end: admission, a worker thread driving either the
+ * continuous (iteration-level) scheduler or the legacy run-to-completion
+ * dynamic batcher, and latency/wait accounting.
  *
  * submit() is thread-safe and non-blocking: invalid or over-capacity
  * requests resolve their future immediately with a RejectReason;
- * admitted requests resolve when their micro-batch completes.  One
- * worker thread owns the session (sessions are single-consumer); the
- * parallelism that matters is INSIDE the batch — the step graphs run
- * on the shared thread pool via the parallel executor.
+ * admitted requests resolve when they complete (payload), are
+ * cancelled, or their deadline budget expires.  One worker thread owns
+ * the sessions (sessions are single-consumer); the parallelism that
+ * matters is INSIDE the step graphs, which run on the shared thread
+ * pool via the parallel executor.
  *
- * Latency is tracked in a core Histogram (log-spaced buckets), so
- * stats() reports p50/p95/p99 without retaining per-request state.
+ * A server may load several sessions (one word-LM, one NMT) and serve
+ * mixed traffic: Request::model routes each request to the session
+ * whose kind() matches.
+ *
+ * Latency and queue-wait are tracked in core Histograms (log-spaced
+ * buckets), so stats() reports p50/p95/p99 without per-request state.
  */
 #ifndef ECHO_SERVE_SERVER_H
 #define ECHO_SERVE_SERVER_H
@@ -26,9 +32,21 @@
 #include "core/stats.h"
 #include "serve/batcher.h"
 #include "serve/queue.h"
+#include "serve/scheduler.h"
 #include "serve/session.h"
 
 namespace echo::serve {
+
+/** Which scheduling loop the worker runs. */
+enum class SchedulerKind
+{
+    /** Iteration-level: slots recycle on EOS, waiting requests splice
+     *  into running step graphs mid-flight.  The default. */
+    kContinuous,
+    /** Legacy run-to-completion micro-batches (the differential
+     *  reference, and the baseline the open-loop bench compares). */
+    kDynamicBatch,
+};
 
 /** Server-level knobs (batching policy rides along). */
 struct ServerConfig
@@ -36,7 +54,16 @@ struct ServerConfig
     /** Admission-queue capacity; pushes beyond it reject. */
     size_t queue_capacity = 64;
 
+    /** kDynamicBatch only: how long the oldest pending request may
+     *  wait for same-bucket companions. */
     std::chrono::microseconds max_wait{2000};
+
+    SchedulerKind scheduler = SchedulerKind::kContinuous;
+
+    /** SLO shed line as a fraction of queue_capacity: batch-tier
+     *  requests reject kOverloaded once the queue is this full.
+     *  >= 1.0 disables tiered admission. */
+    double batch_admit_fraction = 0.75;
 };
 
 /** Aggregate counters and latency percentiles. */
@@ -44,20 +71,37 @@ struct ServerStats
 {
     int64_t accepted = 0;
     int64_t rejected = 0;
-    int64_t completed = 0;
+    int64_t completed = 0; ///< payloads delivered (ok responses)
+    int64_t cancelled = 0; ///< admitted, then cancelled by the client
+    int64_t expired = 0;   ///< admitted, then deadline budget ran out
+    /** kDynamicBatch: micro-batches run.  kContinuous: scheduler step
+     *  passes plus atomic direct decodes. */
     int64_t batches = 0;
     double mean_batch_requests = 0.0;
+    /** kContinuous only: splices, and splices into recycled slots. */
+    int64_t splices = 0;
+    int64_t recycled_slots = 0;
     double latency_mean_us = 0.0;
     double latency_p50_us = 0.0;
     double latency_p95_us = 0.0;
     double latency_p99_us = 0.0;
+    /** Admission -> emission/splice, recorded exactly once per
+     *  completed request (wait_count == completed). */
+    int64_t wait_count = 0;
+    double wait_mean_us = 0.0;
+    double wait_p50_us = 0.0;
+    double wait_p95_us = 0.0;
+    double wait_p99_us = 0.0;
 };
 
-/** Owns the queue, the worker, and the session. */
+/** Owns the queue, the worker, and the sessions. */
 class Server
 {
   public:
     Server(std::unique_ptr<InferenceSession> session,
+           ServerConfig config);
+    /** Mixed-traffic server: one session per model family. */
+    Server(std::vector<std::unique_ptr<InferenceSession>> sessions,
            ServerConfig config);
     ~Server();
 
@@ -72,21 +116,46 @@ class Server
     std::future<Response> submit(Request r);
 
     /**
+     * Best-effort cancellation (kContinuous only): an admitted request
+     * resolves kCancelled — whether it is still queued, waiting, or
+     * mid-decode (evicted, its slot recycled).  False when the
+     * scheduler cannot cancel (legacy mode) or the id is no longer
+     * inflight (already resolved, or never admitted) — a harmless
+     * no-op; the request's outcome is unchanged.
+     */
+    bool cancel(int64_t id);
+
+    /**
      * Stop admitting, decode everything already accepted, join the
      * worker.  Idempotent; the destructor calls it.
      */
     void stop();
 
     ServerStats stats() const;
-    const InferenceSession &session() const { return *session_; }
+
+    size_t numSessions() const { return sessions_.size(); }
+    const InferenceSession &session(size_t i = 0) const
+    {
+        return *sessions_.at(i);
+    }
+
+    /** kContinuous: the slot-recycling journal (pools offset per
+     *  session) for echo-lint --serve-journal.  Complete after
+     *  stop(). */
+    std::vector<analysis::SlotLease> leaseJournal() const;
+
+    /** The --serve-slots value matching leaseJournal(). */
+    int64_t journalSlots() const;
 
   private:
-    void workerLoop();
+    void batchWorkerLoop();
+    void resolveResponse(Response resp);
     Response rejected(const Request &r, RejectReason reason) const;
 
-    std::unique_ptr<InferenceSession> session_;
+    std::vector<std::unique_ptr<InferenceSession>> sessions_;
     ServerConfig config_;
     RequestQueue queue_;
+    std::unique_ptr<ContinuousScheduler> scheduler_;
 
     std::mutex inflight_mu_;
     std::unordered_map<int64_t, std::promise<Response>> inflight_;
@@ -94,9 +163,12 @@ class Server
 
     mutable std::mutex stats_mu_;
     Histogram latency_us_{1.0, 1e9, 16};
+    Histogram wait_us_{1.0, 1e9, 16};
     int64_t accepted_ = 0;
     int64_t rejected_ = 0;
     int64_t completed_ = 0;
+    int64_t cancelled_ = 0;
+    int64_t expired_ = 0;
     int64_t batches_ = 0;
     int64_t batched_requests_ = 0;
 

@@ -62,6 +62,13 @@ struct SessionConfig
     std::string pipeline_spec;
 };
 
+/** One request finishing (payload complete) during a stepLane call. */
+struct LaneFinish
+{
+    int slot = -1;
+    Response resp;
+};
+
 /** A loaded model ready to decode micro-batches. */
 class InferenceSession
 {
@@ -90,6 +97,50 @@ class InferenceSession
      */
     virtual void runBatch(const MicroBatch &mb,
                           std::vector<Response> &out) = 0;
+
+    // ------------------------------------------------------------------
+    // Continuous (iteration-level) scheduling API.
+    //
+    // A lane is one persistent step-graph instance with config().slots
+    // rows of carried state.  The scheduler owns slot assignment: it
+    // splices a request into a free row (state rows re-initialized
+    // there and then), steps the lane once per scheduler pass, and the
+    // lane reports rows whose payload completed so their slots can be
+    // recycled the same instant.  Because every op is row-wise along
+    // the batch axis, a spliced row replays exactly the byte sequence
+    // it would produce alone — splice timing and neighbour churn are
+    // invisible to payloads (the PR 4 contract, extended).
+    // ------------------------------------------------------------------
+
+    /** laneOf() result for requests that must run atomically between
+     *  steps (NMT beam, zero-budget decodes). */
+    static constexpr int kDirectLane = -1;
+
+    /** Step-graph lanes (word LM: 1; NMT: one per length bucket). */
+    virtual int numLanes() const = 0;
+
+    /** Journal pools: every lane, plus a trailing pool for direct
+     *  requests when the session has any. */
+    virtual int poolCount() const { return numLanes(); }
+
+    /** Lane that should decode @p r, or kDirectLane. */
+    virtual int laneOf(const Request &r) const = 0;
+
+    /** Install @p r into row @p slot of @p lane, re-initializing that
+     *  row's carried state.  @pre the slot is free. */
+    virtual void splice(int lane, int slot, Request r) = 0;
+
+    /** Advance @p lane one step; append a LaneFinish (and free the
+     *  row) for every request whose payload completed.  No-op when the
+     *  lane has no occupants. */
+    virtual void stepLane(int lane, std::vector<LaneFinish> &out) = 0;
+
+    /** Free row @p slot of @p lane without a payload (cancel/expire). */
+    virtual void evict(int lane, int slot) = 0;
+
+    /** Decode @p r alone, synchronously (the kDirectLane path and the
+     *  differential reference).  Byte-identical to a solo runBatch. */
+    Response runDirect(const Request &r);
 
     /** Workspace occupancy of every batch run so far. */
     const std::vector<analysis::SlotInterval> &slotJournal() const
@@ -131,6 +182,14 @@ class WordLmSession final : public InferenceSession
     void runBatch(const MicroBatch &mb,
                   std::vector<Response> &out) override;
 
+    /** The stepper has no length dimension, so ONE lane serves every
+     *  prefix length — rows at different positions coexist. */
+    int numLanes() const override { return 1; }
+    int laneOf(const Request &r) const override;
+    void splice(int lane, int slot, Request r) override;
+    void stepLane(int lane, std::vector<LaneFinish> &out) override;
+    void evict(int lane, int slot) override;
+
     const models::WordLmConfig &modelConfig() const { return mcfg_; }
 
   private:
@@ -139,6 +198,13 @@ class WordLmSession final : public InferenceSession
     /** One stepper serves every bucket: the step graph has no length
      *  dimension, only the bucket's step COUNT differs. */
     models::WordLmStepper stepper_;
+
+    // Continuous-lane state: one persistent State whose rows belong to
+    // whatever request is spliced there; pos_ is the next prefix index
+    // each occupied row feeds.
+    models::WordLmStepper::State lane_state_;
+    std::vector<std::unique_ptr<Request>> lane_req_;
+    std::vector<int64_t> lane_pos_;
 };
 
 /** NMT serving: batched greedy and per-request beam decoding. */
@@ -154,6 +220,18 @@ class NmtSession final : public InferenceSession
     void runBatch(const MicroBatch &mb,
                   std::vector<Response> &out) override;
 
+    /** One greedy lane per length bucket; beam and zero-budget
+     *  requests run direct (the trailing journal pool). */
+    int numLanes() const override
+    {
+        return static_cast<int>(config_.buckets.size());
+    }
+    int poolCount() const override { return numLanes() + 1; }
+    int laneOf(const Request &r) const override;
+    void splice(int lane, int slot, Request r) override;
+    void stepLane(int lane, std::vector<LaneFinish> &out) override;
+    void evict(int lane, int slot) override;
+
     const models::NmtConfig &modelConfig() const { return mcfg_; }
 
   private:
@@ -161,10 +239,15 @@ class NmtSession final : public InferenceSession
     const models::NmtDecoder &greedyDecoder(int64_t bucket_idx);
     const models::NmtDecoder &beamDecoder(int64_t bucket_idx);
 
+    /** Carried decode state of one continuous greedy lane. */
+    struct GreedyLane;
+    GreedyLane &lane(int lane_idx);
+
     models::NmtConfig mcfg_;
     models::ParamStore params_;
     std::vector<std::unique_ptr<models::NmtDecoder>> greedy_;
     std::vector<std::unique_ptr<models::NmtDecoder>> beam_;
+    std::vector<std::unique_ptr<GreedyLane>> lanes_;
 };
 
 } // namespace echo::serve

@@ -20,10 +20,15 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdlib>
 #include <cstring>
+#include <future>
+#include <map>
+#include <memory>
 #include <string>
+#include <thread>
 
 #include "core/rng.h"
 #include "core/thread_pool.h"
@@ -34,7 +39,10 @@
 #include "graph/fusion.h"
 #include "graph/ops/oplib.h"
 #include "memory/planner.h"
+#include "models/nmt.h"
+#include "models/word_lm.h"
 #include "pass/builtin_passes.h"
+#include "serve/server.h"
 #include "obs/memory_timeline.h"
 #include "tensor/ops.h"
 #include "tune/search_space.h"
@@ -485,6 +493,216 @@ TEST_P(GemmScheduleFuzz, RandomLegalSchedulesAreBitExact)
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, GemmScheduleFuzz,
+                         ::testing::ValuesIn(fuzzSeeds()));
+
+// ---------------------------------------------------------------------
+// Continuous-serving fuzz: randomized mixed word-LM + NMT traffic with
+// random arrival jitter, lengths, tiers, deadline budgets, and
+// client-side cancellations against the continuous scheduler.  Two
+// properties must hold on ANY trace:
+//
+//  - every served payload is byte-identical to the same request
+//    decoded solo through a reference session (arrival order, splice
+//    timing, and slot churn are unobservable),
+//  - the slot-recycling journal replays clean: leases are exclusive,
+//    every splice re-initialized its rows, and every admitted request
+//    terminated exactly once (served / cancelled / deadline-expired).
+// ---------------------------------------------------------------------
+
+namespace sv = echo::serve;
+
+models::WordLmConfig
+fuzzLmConfig()
+{
+    models::WordLmConfig cfg;
+    cfg.vocab = 50;
+    cfg.hidden = 8;
+    cfg.layers = 2;
+    cfg.batch = 4;
+    cfg.seq_len = 6;
+    return cfg;
+}
+
+models::NmtConfig
+fuzzNmtConfig()
+{
+    models::NmtConfig cfg;
+    cfg.src_vocab = 40;
+    cfg.tgt_vocab = 45;
+    cfg.hidden = 8;
+    cfg.enc_layers = 1;
+    cfg.batch = 3;
+    cfg.src_len = 8;
+    cfg.tgt_len = 8;
+    return cfg;
+}
+
+sv::SessionConfig
+fuzzSessionConfig()
+{
+    sv::SessionConfig cfg;
+    cfg.slots = 4;
+    cfg.buckets = {8};
+    cfg.beam_width = 3;
+    return cfg;
+}
+
+class ServeFuzz : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(ServeFuzz, ContinuousPayloadsAndJournalSurviveRandomTraffic)
+{
+    const uint64_t seed = GetParam();
+    Rng rng(seed * 0xC0FFEEu + 5);
+
+    Rng lm_init(21), nmt_init(22);
+    const models::ParamStore lm_params =
+        models::WordLmModel(fuzzLmConfig()).initialParams(lm_init);
+    const models::ParamStore nmt_params =
+        models::NmtModel(fuzzNmtConfig()).initialParams(nmt_init);
+
+    // Reference sessions: every request decoded solo, in isolation.
+    sv::WordLmSession lm_ref(fuzzLmConfig(), lm_params,
+                             fuzzSessionConfig());
+    sv::NmtSession nmt_ref(fuzzNmtConfig(), nmt_params,
+                           fuzzSessionConfig());
+
+    struct Planned
+    {
+        sv::Request req;
+        bool is_nmt = false;
+        bool cancel = false;
+        int64_t delay_us = 0;
+        sv::Response ref;
+    };
+    const size_t n = 10 + rng.uniformInt(6);
+    std::vector<Planned> plan;
+    for (size_t i = 0; i < n; ++i) {
+        Planned p;
+        p.is_nmt = rng.uniformInt(2) != 0;
+        p.req.model = p.is_nmt ? "nmt" : "word_lm";
+        const size_t len = 1 + rng.uniformInt(7);
+        for (size_t t = 0; t < len; ++t)
+            p.req.tokens.push_back(
+                3 + static_cast<int64_t>(rng.uniformInt(35)));
+        if (p.is_nmt) {
+            // Mostly greedy lanes; occasionally a beam or zero-budget
+            // request, which takes the atomic direct path.
+            p.req.max_new_tokens =
+                rng.uniformInt(8) == 0
+                    ? 0
+                    : 1 + static_cast<int64_t>(rng.uniformInt(5));
+            p.req.beam_width = rng.uniformInt(5) == 0 ? 2 : 1;
+        } else {
+            p.req.top_k = 1 + static_cast<int>(rng.uniformInt(5));
+        }
+        p.req.tier = rng.uniformInt(3) == 0 ? sv::Tier::kInteractive
+                                            : sv::Tier::kBatch;
+        // Deadline budgets: mostly none, sometimes generous,
+        // sometimes hopeless (both outcomes of the race are legal).
+        const uint64_t dl = rng.uniformInt(8);
+        p.req.deadline_us = dl == 0 ? 1 : dl == 1 ? 50'000 : 0;
+        p.cancel = rng.uniformInt(6) == 0;
+        p.delay_us = static_cast<int64_t>(rng.uniformInt(200));
+        plan.push_back(std::move(p));
+    }
+
+    // Solo reference payloads (ids are irrelevant to payload bytes).
+    for (Planned &p : plan) {
+        sv::MicroBatch mb;
+        mb.bucket_len = 8;
+        sv::Request copy = p.req;
+        copy.id = 0;
+        mb.requests.push_back(std::move(copy));
+        std::vector<sv::Response> out;
+        (p.is_nmt ? static_cast<sv::InferenceSession &>(nmt_ref)
+                  : static_cast<sv::InferenceSession &>(lm_ref))
+            .runBatch(mb, out);
+        ASSERT_EQ(out.size(), 1u) << repro(seed);
+        p.ref = out[0];
+    }
+
+    std::vector<std::unique_ptr<sv::InferenceSession>> sessions;
+    sessions.push_back(std::make_unique<sv::WordLmSession>(
+        fuzzLmConfig(), lm_params, fuzzSessionConfig()));
+    sessions.push_back(std::make_unique<sv::NmtSession>(
+        fuzzNmtConfig(), nmt_params, fuzzSessionConfig()));
+    sv::ServerConfig cfg;
+    cfg.queue_capacity = 64;
+    sv::Server server(std::move(sessions), cfg);
+
+    std::vector<std::future<sv::Response>> futures;
+    for (const Planned &p : plan) {
+        if (p.delay_us > 0)
+            std::this_thread::sleep_for(
+                std::chrono::microseconds(p.delay_us));
+        futures.push_back(server.submit(sv::Request(p.req)));
+        if (p.cancel)
+            server.cancel(static_cast<int64_t>(futures.size()) - 1);
+    }
+
+    int64_t ok_count = 0, cancelled = 0, expired = 0;
+    std::vector<int64_t> served_ids;
+    for (size_t i = 0; i < futures.size(); ++i) {
+        const sv::Response resp = futures[i].get();
+        const Planned &p = plan[i];
+        if (resp.ok) {
+            ++ok_count;
+            served_ids.push_back(resp.id);
+            EXPECT_EQ(resp.tokens, p.ref.tokens)
+                << repro(seed) << " request " << i;
+            EXPECT_EQ(resp.scores, p.ref.scores)
+                << repro(seed) << " request " << i;
+        } else if (resp.reject == sv::RejectReason::kCancelled) {
+            ++cancelled;
+            EXPECT_TRUE(p.cancel) << repro(seed) << " request " << i;
+        } else if (resp.reject == sv::RejectReason::kExpired) {
+            ++expired;
+            EXPECT_GT(p.req.deadline_us, 0)
+                << repro(seed) << " request " << i;
+        } else {
+            ADD_FAILURE() << repro(seed) << " request " << i
+                          << " resolved "
+                          << sv::rejectReasonName(resp.reject);
+        }
+    }
+    server.stop();
+
+    // Every admitted request terminated exactly once.
+    const sv::ServerStats stats = server.stats();
+    EXPECT_EQ(stats.accepted, static_cast<int64_t>(n)) << repro(seed);
+    EXPECT_EQ(stats.completed, ok_count) << repro(seed);
+    EXPECT_EQ(stats.cancelled, cancelled) << repro(seed);
+    EXPECT_EQ(stats.expired, expired) << repro(seed);
+    EXPECT_EQ(stats.completed + stats.cancelled + stats.expired,
+              stats.accepted)
+        << repro(seed);
+    EXPECT_EQ(stats.wait_count, stats.completed) << repro(seed);
+
+    // Journal replay: exclusive leases, re-initialized splices,
+    // exactly-once termination for every occupant.
+    const std::vector<analysis::SlotLease> journal =
+        server.leaseJournal();
+    const analysis::AnalysisReport report =
+        analysis::auditSlotRecycling(journal, server.journalSlots());
+    EXPECT_TRUE(report.ok()) << repro(seed) << "\n" << report.toString();
+
+    // A served payload means exactly one lease, closed as kServed.
+    std::map<int64_t, std::vector<const analysis::SlotLease *>> by_id;
+    for (const analysis::SlotLease &l : journal)
+        by_id[l.request_id].push_back(&l);
+    for (int64_t id : served_ids) {
+        ASSERT_EQ(by_id.count(id), 1u) << repro(seed) << " id " << id;
+        ASSERT_EQ(by_id[id].size(), 1u) << repro(seed) << " id " << id;
+        EXPECT_EQ(static_cast<int>(by_id[id][0]->status),
+                  static_cast<int>(analysis::LeaseStatus::kServed))
+            << repro(seed) << " id " << id;
+        EXPECT_EQ(by_id[id][0]->reinit, 1) << repro(seed);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ServeFuzz,
                          ::testing::ValuesIn(fuzzSeeds()));
 
 } // namespace

@@ -244,6 +244,27 @@ TEST(PipelineLegality, DefaultAndPermutedPipelinesAreLegal)
     }
 }
 
+TEST(PipelineLegality, ServePresetsExpandAndAreStaticallyLegal)
+{
+    // The serving presets are names for inference pipelines; parseSpec
+    // expands them, so env rewriting and echo-lint --pipeline see the
+    // underlying pass lists.
+    EXPECT_EQ(presetSpec("serve-wordlm"), "fusion,gemm_warm");
+    EXPECT_EQ(presetSpec("serve-nmt"), "fusion,audit_fusion,gemm_warm");
+    EXPECT_EQ(parseSpec("serve-wordlm"),
+              (std::vector<std::string>{"fusion", "gemm_warm"}));
+    EXPECT_EQ(defaultSpec(PipelineKind::kServeWordLm), "serve-wordlm");
+    EXPECT_EQ(defaultSpec(PipelineKind::kServeNmt), "serve-nmt");
+
+    // Both presets must be statically legal on a fresh forward graph:
+    // sessions build them unconditionally at construction time.
+    for (const char *preset : {"serve-wordlm", "serve-nmt"}) {
+        const PassManager pm = buildPipeline(preset);
+        EXPECT_TRUE(pm.validate(freshGraphInvariants()).empty())
+            << preset;
+    }
+}
+
 TEST(PipelineLegality, GemmWarmBeforeAutodiffIsStale)
 {
     // autodiff appends backward GEMMs, so a warm-up that ran before it

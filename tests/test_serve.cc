@@ -571,6 +571,381 @@ TEST(Server, RejectsInvalidAndLateRequests)
     EXPECT_EQ(stats.rejected, 3);
 }
 
+TEST(RequestQueue, BatchTierShedsAtTheAdmitLine)
+{
+    // Capacity 4 with a shed line of 2: batch-tier requests reject
+    // kOverloaded once two requests are queued, interactive traffic
+    // is admitted up to full capacity.
+    RequestQueue q(4, 2);
+    EXPECT_EQ(q.batchCapacity(), 2u);
+
+    auto tiered = [](int64_t id, Tier tier) {
+        Request r = makeRequest({1, 2}, id);
+        r.tier = tier;
+        return r;
+    };
+    EXPECT_EQ(q.tryPush(tiered(0, Tier::kBatch)), RejectReason::kNone);
+    EXPECT_EQ(q.tryPush(tiered(1, Tier::kBatch)), RejectReason::kNone);
+    EXPECT_EQ(q.tryPush(tiered(2, Tier::kBatch)),
+              RejectReason::kOverloaded);
+    EXPECT_EQ(q.tryPush(tiered(3, Tier::kInteractive)),
+              RejectReason::kNone);
+    EXPECT_EQ(q.tryPush(tiered(4, Tier::kInteractive)),
+              RejectReason::kNone);
+    EXPECT_EQ(q.tryPush(tiered(5, Tier::kInteractive)),
+              RejectReason::kQueueFull);
+
+    // Draining below the shed line re-admits batch traffic.
+    Request out;
+    ASSERT_TRUE(q.tryPop(out));
+    ASSERT_TRUE(q.tryPop(out));
+    ASSERT_TRUE(q.tryPop(out));
+    EXPECT_EQ(q.tryPush(tiered(6, Tier::kBatch)), RejectReason::kNone);
+}
+
+TEST(RequestQueue, TierAndNewRejectReasonNamesAreStable)
+{
+    EXPECT_STREQ(tierName(Tier::kInteractive), "interactive");
+    EXPECT_STREQ(tierName(Tier::kBatch), "batch");
+    EXPECT_STREQ(rejectReasonName(RejectReason::kOverloaded),
+                 "overloaded");
+    EXPECT_STREQ(rejectReasonName(RejectReason::kBadModel),
+                 "bad-model");
+    EXPECT_STREQ(rejectReasonName(RejectReason::kCancelled),
+                 "cancelled");
+    EXPECT_STREQ(rejectReasonName(RejectReason::kExpired),
+                 "deadline-expired");
+}
+
+// ------------------------------------------- slot-recycling audit --
+
+analysis::SlotLease
+lease(int64_t id, int64_t pool, int slot, int64_t acquired,
+      int64_t released, int reinit = 1,
+      analysis::LeaseStatus status = analysis::LeaseStatus::kServed)
+{
+    analysis::SlotLease l;
+    l.request_id = id;
+    l.pool = pool;
+    l.slot = slot;
+    l.acquired = acquired;
+    l.released = released;
+    l.reinit = reinit;
+    l.status = status;
+    return l;
+}
+
+TEST(SlotRecycling, CleanRecycledJournalPasses)
+{
+    // Slot 0 serves three requests back-to-back (recycling), slot 1
+    // hosts an overlapping-in-time neighbour, one request expires.
+    std::vector<analysis::SlotLease> journal;
+    journal.push_back(lease(0, 0, 0, 0, 3));
+    journal.push_back(lease(1, 0, 1, 0, 5));
+    journal.push_back(lease(2, 0, 0, 3, 4, 1,
+                            analysis::LeaseStatus::kExpired));
+    journal.push_back(lease(3, 0, 0, 4, 9));
+    const analysis::AnalysisReport report =
+        analysis::auditSlotRecycling(journal, 4);
+    EXPECT_TRUE(report.ok()) << report.toString();
+}
+
+TEST(SlotRecycling, OverlappingLeasesAreSlotAliasing)
+{
+    std::vector<analysis::SlotLease> journal;
+    journal.push_back(lease(0, 0, 0, 0, 3));
+    journal.push_back(lease(1, 0, 0, 2, 5)); // acquired before 0 left
+    const analysis::AnalysisReport report =
+        analysis::auditSlotRecycling(journal, 4);
+    EXPECT_FALSE(report.ok());
+    bool saw_alias = false;
+    for (const analysis::Diagnostic &d : report.diagnostics)
+        saw_alias |= d.check == analysis::Check::kSlotAliasing;
+    EXPECT_TRUE(saw_alias) << report.toString();
+}
+
+TEST(SlotRecycling, MissingReinitIsAStateLeak)
+{
+    std::vector<analysis::SlotLease> journal;
+    journal.push_back(lease(0, 0, 0, 0, 3));
+    journal.push_back(lease(1, 0, 0, 3, 5, /*reinit=*/0));
+    const analysis::AnalysisReport report =
+        analysis::auditSlotRecycling(journal, 4);
+    EXPECT_FALSE(report.ok());
+    bool saw_leak = false;
+    for (const analysis::Diagnostic &d : report.diagnostics)
+        saw_leak |= d.check == analysis::Check::kSlotStateLeak;
+    EXPECT_TRUE(saw_leak) << report.toString();
+}
+
+TEST(SlotRecycling, DoubleTerminationAndEmptyLeaseAreViolations)
+{
+    std::vector<analysis::SlotLease> journal;
+    // Request 7 terminates twice (two leases), request 8's lease is
+    // empty (acquired == released).
+    journal.push_back(lease(7, 0, 0, 0, 2));
+    journal.push_back(lease(7, 0, 1, 3, 4));
+    journal.push_back(lease(8, 0, 2, 5, 5));
+    const analysis::AnalysisReport report =
+        analysis::auditSlotRecycling(journal, 4);
+    EXPECT_FALSE(report.ok());
+    int lifecycle = 0;
+    for (const analysis::Diagnostic &d : report.diagnostics)
+        lifecycle += d.check == analysis::Check::kLifecycleViolation;
+    EXPECT_GE(lifecycle, 2) << report.toString();
+}
+
+// ----------------------------------------- continuous scheduler --
+
+std::unique_ptr<InferenceSession>
+makeNmtSession()
+{
+    return std::make_unique<NmtSession>(
+        tinyNmtConfig(), tinyNmtParams(), smallSessionConfig());
+}
+
+/** The differential workload: varied prefixes and top-k widths. */
+std::vector<Request>
+differentialWorkload()
+{
+    std::vector<Request> reqs;
+    const std::vector<std::vector<int64_t>> prefixes = {
+        {9, 4, 31, 6}, {7, 12, 3},       {5},
+        {3, 3, 3, 3, 3, 3, 3}, {40, 2, 17}, {6, 7},
+        {11, 13, 17, 19, 23},  {8, 8, 8, 8}};
+    for (size_t i = 0; i < prefixes.size(); ++i) {
+        Request r = makeRequest(prefixes[i]);
+        r.top_k = 1 + static_cast<int>(i % 5);
+        reqs.push_back(std::move(r));
+    }
+    return reqs;
+}
+
+/**
+ * The differential test the tentpole hangs on: the continuous
+ * scheduler against the slots=1 run-to-completion server (a strictly
+ * sequential reference — every micro-batch holds one request).
+ * Payloads must be byte-identical for every request at thread counts
+ * 1/2/4 and across arrival permutations.
+ */
+TEST(ContinuousServer, DifferentialAgainstSequentialReference)
+{
+    const std::vector<Request> base = differentialWorkload();
+
+    // Reference: slots=1, legacy batcher, submitted one at a time.
+    std::vector<Response> ref;
+    {
+        SessionConfig scfg = smallSessionConfig();
+        scfg.slots = 1;
+        ServerConfig cfg;
+        cfg.scheduler = SchedulerKind::kDynamicBatch;
+        cfg.max_wait = std::chrono::microseconds(100);
+        Server server(std::make_unique<WordLmSession>(
+                          tinyLmConfig(), tinyLmParams(), scfg),
+                      cfg);
+        for (const Request &r : base)
+            ref.push_back(server.submit(Request(r)).get());
+        server.stop();
+        for (const Response &resp : ref)
+            ASSERT_TRUE(resp.ok);
+    }
+
+    const std::vector<std::vector<size_t>> orders = {
+        {0, 1, 2, 3, 4, 5, 6, 7}, // admission order
+        {7, 6, 5, 4, 3, 2, 1, 0}, // reversed
+        {4, 0, 6, 2, 7, 3, 5, 1}, // shuffled
+    };
+    for (int threads : {1, 2, 4}) {
+        ThreadPool::setGlobalNumThreads(threads);
+        for (const std::vector<size_t> &order : orders) {
+            Server server(makeLmSession(), ServerConfig{});
+            std::vector<std::future<Response>> futures;
+            for (size_t idx : order)
+                futures.push_back(server.submit(Request(base[idx])));
+            for (size_t k = 0; k < order.size(); ++k) {
+                const Response resp = futures[k].get();
+                const Response &expect = ref[order[k]];
+                ASSERT_TRUE(resp.ok)
+                    << "threads=" << threads << " k=" << k;
+                EXPECT_EQ(resp.tokens, expect.tokens)
+                    << "threads=" << threads << " base=" << order[k];
+                EXPECT_EQ(resp.scores, expect.scores)
+                    << "threads=" << threads << " base=" << order[k];
+            }
+            server.stop();
+            const ServerStats stats = server.stats();
+            EXPECT_EQ(stats.completed, 8);
+            EXPECT_EQ(stats.wait_count, stats.completed);
+            // The journal must audit clean: exclusive leases,
+            // re-initialized state, exactly-once termination.
+            const analysis::AnalysisReport report =
+                analysis::auditSlotRecycling(server.leaseJournal(),
+                                             server.journalSlots());
+            EXPECT_TRUE(report.ok()) << report.toString();
+        }
+    }
+    ThreadPool::setGlobalNumThreads(ThreadPool::defaultNumThreads());
+}
+
+TEST(ContinuousServer, MixedTrafficRoutesByModelAndMatchesReference)
+{
+    // Solo references driven directly through fresh sessions.
+    WordLmSession lm_ref(tinyLmConfig(), tinyLmParams(),
+                         smallSessionConfig());
+    NmtSession nmt_ref(tinyNmtConfig(), tinyNmtParams(),
+                       smallSessionConfig());
+
+    Request lm_req = makeRequest({7, 12, 3});
+    lm_req.top_k = 4;
+    lm_req.model = "word_lm";
+    Request greedy = makeRequest({5, 9, 13, 4});
+    greedy.max_new_tokens = 6;
+    greedy.model = "nmt";
+    Request beam = makeRequest({5, 9, 13, 4});
+    beam.max_new_tokens = 6;
+    beam.beam_width = 3;
+    beam.model = "nmt";
+
+    std::vector<Response> ref;
+    {
+        MicroBatch mb;
+        mb.bucket_len = 8;
+        mb.requests = {lm_req};
+        std::vector<Response> out;
+        lm_ref.runBatch(mb, out);
+        ref.push_back(out[0]);
+        mb.requests = {greedy, beam};
+        nmt_ref.runBatch(mb, out);
+        ref.push_back(out[0]);
+        ref.push_back(out[1]);
+    }
+
+    std::vector<std::unique_ptr<InferenceSession>> sessions;
+    sessions.push_back(makeLmSession());
+    sessions.push_back(makeNmtSession());
+    Server server(std::move(sessions), ServerConfig{});
+
+    Request bogus = makeRequest({1, 2});
+    bogus.model = "transformer";
+    const Response bad = server.submit(std::move(bogus)).get();
+    EXPECT_FALSE(bad.ok);
+    EXPECT_EQ(bad.reject, RejectReason::kBadModel);
+
+    std::vector<std::future<Response>> futures;
+    futures.push_back(server.submit(std::move(lm_req)));
+    futures.push_back(server.submit(std::move(greedy)));
+    futures.push_back(server.submit(std::move(beam)));
+    for (size_t i = 0; i < futures.size(); ++i) {
+        const Response resp = futures[i].get();
+        ASSERT_TRUE(resp.ok) << "request " << i;
+        EXPECT_EQ(resp.tokens, ref[i].tokens) << "request " << i;
+        EXPECT_EQ(resp.scores, ref[i].scores) << "request " << i;
+    }
+    server.stop();
+
+    const analysis::AnalysisReport report = analysis::auditSlotRecycling(
+        server.leaseJournal(), server.journalSlots());
+    EXPECT_TRUE(report.ok()) << report.toString();
+}
+
+TEST(ContinuousServer, CancelsWaitingRequestsAndRecyclesSlots)
+{
+    // Two slots, eight long-prefix requests: the last submission waits
+    // through several lane rotations, so a cancel issued immediately
+    // after it is submitted lands while it still sits in the queue.
+    SessionConfig scfg = smallSessionConfig();
+    scfg.slots = 2;
+    ServerConfig cfg;
+    Server server(std::make_unique<WordLmSession>(
+                      tinyLmConfig(), tinyLmParams(), scfg),
+                  cfg);
+
+    std::vector<std::future<Response>> futures;
+    for (int64_t i = 0; i < 8; ++i) {
+        Request r = makeRequest(
+            std::vector<int64_t>(8, 3 + i)); // 8 steps per request
+        r.top_k = 2;
+        futures.push_back(server.submit(std::move(r)));
+    }
+    const int64_t victim = 7; // ids are the submission order
+    ASSERT_TRUE(server.cancel(victim));
+
+    const Response cancelled = futures.back().get();
+    EXPECT_FALSE(cancelled.ok);
+    EXPECT_EQ(cancelled.reject, RejectReason::kCancelled);
+    for (size_t i = 0; i + 1 < futures.size(); ++i)
+        EXPECT_TRUE(futures[i].get().ok) << "request " << i;
+    server.stop();
+
+    const ServerStats stats = server.stats();
+    EXPECT_EQ(stats.completed, 7);
+    EXPECT_EQ(stats.cancelled, 1);
+    EXPECT_GT(stats.recycled_slots, 0);
+    EXPECT_EQ(stats.wait_count, stats.completed);
+    const analysis::AnalysisReport report = analysis::auditSlotRecycling(
+        server.leaseJournal(), server.journalSlots());
+    EXPECT_TRUE(report.ok()) << report.toString();
+}
+
+TEST(ContinuousServer, ExpiredDeadlineBudgetResolvesExpired)
+{
+    Server server(makeLmSession(), ServerConfig{});
+    Request r = makeRequest({3, 4, 5, 6});
+    r.deadline_us = 1; // a 1us budget cannot survive admission
+    const Response resp = server.submit(std::move(r)).get();
+    EXPECT_FALSE(resp.ok);
+    EXPECT_EQ(resp.reject, RejectReason::kExpired);
+    server.stop();
+    EXPECT_EQ(server.stats().expired, 1);
+}
+
+/**
+ * Regression for the max-wait x deadline wait double-count: queue-wait
+ * is recorded exactly once per completed request (at batch emission in
+ * legacy mode, at splice time in continuous mode), so the histogram
+ * count must equal the completed count even when deadline flushes
+ * leave requests pending across buckets.
+ */
+TEST(Server, WaitRecordedOncePerRequestAcrossDeadlineFlushes)
+{
+    for (const SchedulerKind kind :
+         {SchedulerKind::kDynamicBatch, SchedulerKind::kContinuous}) {
+        SessionConfig scfg = smallSessionConfig();
+        scfg.buckets = {8, 16};
+        ServerConfig cfg;
+        cfg.scheduler = kind;
+        cfg.max_wait = std::chrono::microseconds(500);
+        Server server(std::make_unique<WordLmSession>(
+                          tinyLmConfig(), tinyLmParams(), scfg),
+                      cfg);
+
+        std::vector<std::future<Response>> futures;
+        for (int64_t i = 0; i < 12; ++i) {
+            // Alternate buckets so deadline flushes of one bucket
+            // leave the other's requests pending.
+            Request r = makeRequest(
+                std::vector<int64_t>(i % 2 == 0 ? 3 : 12, 5 + i));
+            r.top_k = 2;
+            futures.push_back(server.submit(std::move(r)));
+            if (i % 3 == 0)
+                std::this_thread::sleep_for(
+                    std::chrono::microseconds(300));
+        }
+        for (auto &f : futures) {
+            const Response resp = f.get();
+            ASSERT_TRUE(resp.ok);
+            EXPECT_GE(resp.wait_us, 0.0);
+            EXPECT_LE(resp.wait_us, resp.latency_us);
+        }
+        server.stop();
+
+        const ServerStats stats = server.stats();
+        EXPECT_EQ(stats.completed, 12);
+        EXPECT_EQ(stats.wait_count, stats.completed)
+            << "scheduler=" << static_cast<int>(kind);
+    }
+}
+
 TEST(Server, ResponsePayloadMatchesDirectSession)
 {
     // The server path (queue -> batcher -> worker) must not perturb

@@ -164,10 +164,32 @@ lintModel(Model &model, const std::string &title,
     return failures;
 }
 
+/** Parse a lease terminal status: a word or its numeric code. */
+bool
+parseLeaseStatus(const std::string &token, analysis::LeaseStatus *out)
+{
+    if (token == "served" || token == "0")
+        *out = analysis::LeaseStatus::kServed;
+    else if (token == "cancelled" || token == "1")
+        *out = analysis::LeaseStatus::kCancelled;
+    else if (token == "expired" || token == "2")
+        *out = analysis::LeaseStatus::kExpired;
+    else
+        return false;
+    return true;
+}
+
 /**
- * Lint a serving workspace journal: one interval per line,
- * "request_id pool slot acquired released" (echo-serve --journal
- * format; '#' comments allowed).
+ * Lint a serving workspace journal ('#' comments allowed).  Two line
+ * formats, auto-detected:
+ *  - legacy run-to-completion intervals (echo-serve --journal):
+ *      "request_id pool slot acquired released"
+ *  - continuous-scheduler slot leases:
+ *      "request_id pool slot acquired released reinit status"
+ *    where status is served|cancelled|expired (or 0|1|2).
+ * Any lease line switches the whole journal to the slot-recycling
+ * audit (exclusivity + state-leak + lifecycle); otherwise only the
+ * aliasing/range check runs.
  */
 int
 lintServeJournal(const LintOptions &opts)
@@ -178,7 +200,8 @@ lintServeJournal(const LintOptions &opts)
                   << "\n";
         return 2;
     }
-    std::vector<analysis::SlotInterval> journal;
+    std::vector<analysis::SlotLease> journal;
+    bool any_lease_line = false;
     std::string line;
     size_t line_no = 0;
     while (std::getline(in, line)) {
@@ -186,20 +209,42 @@ lintServeJournal(const LintOptions &opts)
         if (line.empty() || line[0] == '#')
             continue;
         std::istringstream fields(line);
-        analysis::SlotInterval iv;
-        if (!(fields >> iv.request_id >> iv.pool >> iv.slot >>
-              iv.acquired >> iv.released)) {
+        analysis::SlotLease lease;
+        if (!(fields >> lease.request_id >> lease.pool >> lease.slot >>
+              lease.acquired >> lease.released)) {
             std::cerr << "echo-lint: " << opts.serve_journal << ":"
                       << line_no << ": malformed journal line\n";
             return 2;
         }
-        journal.push_back(iv);
+        std::string status;
+        if (fields >> lease.reinit >> status) {
+            if (!parseLeaseStatus(status, &lease.status)) {
+                std::cerr << "echo-lint: " << opts.serve_journal << ":"
+                          << line_no << ": bad lease status '" << status
+                          << "'\n";
+                return 2;
+            }
+            any_lease_line = true;
+        }
+        journal.push_back(lease);
     }
 
-    const analysis::AnalysisReport report =
-        analysis::detectWorkspaceAliasing(journal, opts.serve_slots);
+    analysis::AnalysisReport report;
+    if (any_lease_line) {
+        report = analysis::auditSlotRecycling(journal, opts.serve_slots);
+    } else {
+        std::vector<analysis::SlotInterval> intervals;
+        intervals.reserve(journal.size());
+        for (const analysis::SlotLease &lease : journal)
+            intervals.push_back(analysis::SlotInterval{
+                lease.request_id, lease.pool, lease.slot, lease.acquired,
+                lease.released});
+        report =
+            analysis::detectWorkspaceAliasing(intervals, opts.serve_slots);
+    }
     std::cout << "== serve journal (" << journal.size()
-              << " intervals, " << opts.serve_slots << " slots): ";
+              << (any_lease_line ? " leases, " : " intervals, ")
+              << opts.serve_slots << " slots): ";
     if (report.diagnostics.empty()) {
         std::cout << "clean\n";
         return 0;

@@ -1,35 +1,45 @@
 /**
  * @file
  * echo-serve: command-line front end of the inference-serving layer
- * (src/serve).  Loads a checkpoint (model family and hyperparameters
- * are inferred from the stored tensors), starts a Server, submits the
- * requests from a file (or a built-in demo set), prints one line per
- * response, and finishes with the latency/throughput summary.
+ * (src/serve).  Loads one or more checkpoints (model family and
+ * hyperparameters are inferred from the stored tensors — several
+ * checkpoints make a mixed-traffic server), starts a Server, submits
+ * the requests from a file (or a built-in demo set), prints one line
+ * per response, and finishes with the latency/throughput summary.
  *
  * Request file format — one request per line:
  *
  *     # comment
- *     12 7 93 5            <- token ids (greedy decode / LM top-k)
- *     beam=4 12 7 93 5     <- NMT beam search, width 4
- *     topk=3 12 7 93       <- word LM, report 3 candidates
+ *     12 7 93 5                  <- token ids (greedy decode / LM top-k)
+ *     beam=4 12 7 93 5           <- NMT beam search, width 4
+ *     topk=3 12 7 93             <- word LM, report 3 candidates
+ *     model=nmt 12 7 93          <- route to the nmt session
+ *     tier=interactive 12 7      <- SLO tier (default batch)
+ *     deadline-us=5000 12 7      <- deadline budget from admission
+ *     cancel-after-us=200 12 7   <- client cancels this id after 200us
  *
- * --journal=PATH dumps the workspace slot-occupancy journal in the
- * format `echo-lint --serve-journal=PATH` checks, closing the loop
- * between the serving layer and the static analyzer.
+ * --journal=PATH dumps the slot-occupancy journal in the format
+ * `echo-lint --serve-journal=PATH` checks: slot-recycling leases under
+ * the continuous scheduler (the default), plain intervals under
+ * --scheduler=batch — closing the loop between the serving layer and
+ * the static analyzer.
  *
- * Exit status: 0 when every submitted request completed ok, 1 when any
- * was rejected or produced no payload, 2 on usage errors.
+ * Exit status: 0 when every submitted request resolved as expected
+ * (cancelled requests count as expected when a cancel was asked for),
+ * 1 otherwise, 2 on usage errors.
  *
- * usage: echo-serve --ckpt=PATH [--requests=FILE] [--slots=N]
+ * usage: echo-serve --ckpt=PATH[,PATH...] [--requests=FILE] [--slots=N]
  *                   [--buckets=8,16,32] [--beam=K] [--max-new=N]
  *                   [--queue=N] [--max-wait-us=N] [--threads=N]
- *                   [--journal=PATH]
+ *                   [--scheduler=continuous|batch] [--journal=PATH]
  */
+#include <chrono>
 #include <fstream>
 #include <future>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/thread_pool.h"
@@ -41,7 +51,7 @@ using namespace echo;
 
 struct ServeOptions
 {
-    std::string ckpt;
+    std::vector<std::string> ckpts;
     std::string requests_path;
     std::string journal_path;
     serve::SessionConfig session;
@@ -50,13 +60,29 @@ struct ServeOptions
     int threads = 0; // 0 = leave the pool alone
 };
 
+/** A request plus its client-side cancellation delay (0 = none). */
+struct PlannedRequest
+{
+    serve::Request req;
+    int64_t cancel_after_us = 0;
+};
+
+std::vector<std::string>
+splitCommas(const std::string &spec)
+{
+    std::vector<std::string> items;
+    std::istringstream fields(spec);
+    std::string item;
+    while (std::getline(fields, item, ','))
+        items.push_back(item);
+    return items;
+}
+
 std::vector<int64_t>
 parseBuckets(const std::string &spec)
 {
     std::vector<int64_t> buckets;
-    std::istringstream fields(spec);
-    std::string item;
-    while (std::getline(fields, item, ','))
+    for (const std::string &item : splitCommas(spec))
         buckets.push_back(std::stoll(item));
     return buckets;
 }
@@ -67,7 +93,7 @@ parseArgs(int argc, char **argv, ServeOptions &opts)
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg.rfind("--ckpt=", 0) == 0) {
-            opts.ckpt = arg.substr(7);
+            opts.ckpts = splitCommas(arg.substr(7));
         } else if (arg.rfind("--requests=", 0) == 0) {
             opts.requests_path = arg.substr(11);
         } else if (arg.rfind("--journal=", 0) == 0) {
@@ -88,13 +114,25 @@ parseArgs(int argc, char **argv, ServeOptions &opts)
                 std::chrono::microseconds(std::stoll(arg.substr(14)));
         } else if (arg.rfind("--threads=", 0) == 0) {
             opts.threads = std::stoi(arg.substr(10));
+        } else if (arg.rfind("--scheduler=", 0) == 0) {
+            const std::string kind = arg.substr(12);
+            if (kind == "continuous") {
+                opts.server.scheduler = serve::SchedulerKind::kContinuous;
+            } else if (kind == "batch") {
+                opts.server.scheduler =
+                    serve::SchedulerKind::kDynamicBatch;
+            } else {
+                std::cerr << "echo-serve: --scheduler must be "
+                             "'continuous' or 'batch'\n";
+                return false;
+            }
         } else {
             std::cerr << "echo-serve: unknown argument " << arg << "\n";
             return false;
         }
     }
-    if (opts.ckpt.empty()) {
-        std::cerr << "echo-serve: --ckpt=PATH is required\n";
+    if (opts.ckpts.empty()) {
+        std::cerr << "echo-serve: --ckpt=PATH[,PATH...] is required\n";
         return false;
     }
     return true;
@@ -103,7 +141,7 @@ parseArgs(int argc, char **argv, ServeOptions &opts)
 /** Parse the request file (see the file comment for the format). */
 bool
 loadRequests(const std::string &path, int64_t max_new,
-             std::vector<serve::Request> &out)
+             std::vector<PlannedRequest> &out)
 {
     std::ifstream in(path);
     if (!in) {
@@ -115,7 +153,8 @@ loadRequests(const std::string &path, int64_t max_new,
         if (line.empty() || line[0] == '#')
             continue;
         std::istringstream fields(line);
-        serve::Request req;
+        PlannedRequest planned;
+        serve::Request &req = planned.req;
         req.max_new_tokens = max_new;
         std::string tok;
         while (fields >> tok) {
@@ -123,27 +162,37 @@ loadRequests(const std::string &path, int64_t max_new,
                 req.beam_width = std::stoi(tok.substr(5));
             else if (tok.rfind("topk=", 0) == 0)
                 req.top_k = std::stoi(tok.substr(5));
+            else if (tok.rfind("model=", 0) == 0)
+                req.model = tok.substr(6);
+            else if (tok.rfind("tier=", 0) == 0)
+                req.tier = tok.substr(5) == "interactive"
+                               ? serve::Tier::kInteractive
+                               : serve::Tier::kBatch;
+            else if (tok.rfind("deadline-us=", 0) == 0)
+                req.deadline_us = std::stoll(tok.substr(12));
+            else if (tok.rfind("cancel-after-us=", 0) == 0)
+                planned.cancel_after_us = std::stoll(tok.substr(16));
             else
                 req.tokens.push_back(std::stoll(tok));
         }
-        out.push_back(std::move(req));
+        out.push_back(std::move(planned));
     }
     return true;
 }
 
 /** Fallback when no --requests file is given: a small fixed set of
  *  short prefixes valid for any vocabulary (ids stay tiny). */
-std::vector<serve::Request>
+std::vector<PlannedRequest>
 demoRequests(int64_t max_new)
 {
-    std::vector<serve::Request> reqs;
+    std::vector<PlannedRequest> reqs;
     const std::vector<std::vector<int64_t>> token_sets = {
         {3, 4, 5}, {6, 7}, {3, 5, 7, 9, 11}, {4, 4, 4, 4}};
     for (const auto &tokens : token_sets) {
-        serve::Request req;
-        req.tokens = tokens;
-        req.max_new_tokens = max_new;
-        reqs.push_back(std::move(req));
+        PlannedRequest planned;
+        planned.req.tokens = tokens;
+        planned.req.max_new_tokens = max_new;
+        reqs.push_back(std::move(planned));
     }
     return reqs;
 }
@@ -170,7 +219,7 @@ main(int argc, char **argv)
     if (opts.threads > 0)
         ThreadPool::setGlobalNumThreads(opts.threads);
 
-    std::vector<serve::Request> requests;
+    std::vector<PlannedRequest> requests;
     if (!opts.requests_path.empty()) {
         if (!loadRequests(opts.requests_path, opts.max_new_tokens,
                           requests))
@@ -183,19 +232,34 @@ main(int argc, char **argv)
         return 2;
     }
 
-    auto session =
-        serve::InferenceSession::fromCheckpoint(opts.ckpt, opts.session);
-    std::cout << "echo-serve: " << session->describe() << "\n";
+    std::vector<std::unique_ptr<serve::InferenceSession>> sessions;
+    for (const std::string &ckpt : opts.ckpts) {
+        sessions.push_back(
+            serve::InferenceSession::fromCheckpoint(ckpt, opts.session));
+        std::cout << "echo-serve: " << sessions.back()->describe()
+                  << "\n";
+    }
 
-    serve::Server server(std::move(session), opts.server);
+    serve::Server server(std::move(sessions), opts.server);
     std::vector<std::future<serve::Response>> futures;
+    std::vector<int64_t> cancel_after;
     futures.reserve(requests.size());
-    for (serve::Request &req : requests)
-        futures.push_back(server.submit(std::move(req)));
+    for (PlannedRequest &planned : requests) {
+        cancel_after.push_back(planned.cancel_after_us);
+        futures.push_back(server.submit(std::move(planned.req)));
+    }
+    // Client-side cancellations: the id sequence is the submit order.
+    for (size_t i = 0; i < cancel_after.size(); ++i) {
+        if (cancel_after[i] <= 0)
+            continue;
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(cancel_after[i]));
+        server.cancel(static_cast<int64_t>(i));
+    }
 
     int failures = 0;
-    for (auto &future : futures) {
-        const serve::Response resp = future.get();
+    for (size_t i = 0; i < futures.size(); ++i) {
+        const serve::Response resp = futures[i].get();
         if (resp.ok && !resp.tokens.empty()) {
             std::cout << "id=" << resp.id
                       << " ok tokens=" << formatTokens(resp.tokens)
@@ -203,11 +267,19 @@ main(int argc, char **argv)
                       << (resp.scores.empty() ? 0.0f : resp.scores[0])
                       << " bucket=" << resp.bucket_len
                       << " batch=" << resp.batch_requests << "\n";
-        } else {
-            ++failures;
-            std::cout << "id=" << resp.id << " FAILED reason="
-                      << serve::rejectReasonName(resp.reject) << "\n";
+            continue;
         }
+        // A request the file asked to cancel resolving kCancelled (or
+        // finishing first) is the expected outcome, not a failure.
+        const bool expected_cancel =
+            cancel_after[i] > 0 &&
+            resp.reject == serve::RejectReason::kCancelled;
+        if (!expected_cancel)
+            ++failures;
+        std::cout << "id=" << resp.id << " "
+                  << (expected_cancel ? "cancelled" : "FAILED")
+                  << " reason="
+                  << serve::rejectReasonName(resp.reject) << "\n";
     }
     server.stop();
 
@@ -215,18 +287,42 @@ main(int argc, char **argv)
     std::cout << "accepted=" << stats.accepted
               << " rejected=" << stats.rejected
               << " completed=" << stats.completed
+              << " cancelled=" << stats.cancelled
+              << " expired=" << stats.expired
               << " batches=" << stats.batches << " mean_batch="
-              << stats.mean_batch_requests << "\n"
+              << stats.mean_batch_requests
+              << " splices=" << stats.splices
+              << " recycled=" << stats.recycled_slots << "\n"
               << "latency_us p50=" << stats.latency_p50_us
               << " p95=" << stats.latency_p95_us
-              << " p99=" << stats.latency_p99_us << "\n";
+              << " p99=" << stats.latency_p99_us
+              << " wait_p99=" << stats.wait_p99_us << "\n";
 
     if (!opts.journal_path.empty()) {
         std::ofstream journal(opts.journal_path);
-        journal << "# request_id pool slot acquired released\n";
-        for (const auto &iv : server.session().slotJournal())
-            journal << iv.request_id << " " << iv.pool << " " << iv.slot
-                    << " " << iv.acquired << " " << iv.released << "\n";
+        if (opts.server.scheduler == serve::SchedulerKind::kContinuous) {
+            journal << "# request_id pool slot acquired released "
+                       "reinit status\n";
+            for (const auto &lease : server.leaseJournal()) {
+                const char *status =
+                    lease.status == analysis::LeaseStatus::kServed
+                        ? "served"
+                        : lease.status ==
+                                  analysis::LeaseStatus::kCancelled
+                              ? "cancelled"
+                              : "expired";
+                journal << lease.request_id << " " << lease.pool << " "
+                        << lease.slot << " " << lease.acquired << " "
+                        << lease.released << " " << lease.reinit << " "
+                        << status << "\n";
+            }
+        } else {
+            journal << "# request_id pool slot acquired released\n";
+            for (const auto &iv : server.session().slotJournal())
+                journal << iv.request_id << " " << iv.pool << " "
+                        << iv.slot << " " << iv.acquired << " "
+                        << iv.released << "\n";
+        }
         std::cout << "journal written to " << opts.journal_path << "\n";
     }
     return failures == 0 ? 0 : 1;

@@ -16,7 +16,10 @@
  *     O(B·T·H) recompute arena into O(B·T²·H) (paper §4.1.2).
  */
 #include "bench_common.h"
+#include "budget/planner.h"
 #include "echo/recompute_pass.h"
+#include "gpusim/timeline.h"
+#include "memory/liveness.h"
 #include "memory/planner.h"
 #include "models/nmt.h"
 #include "train/simulation.h"
@@ -99,9 +102,12 @@ main()
                     "EcoRNN draft.");
     }
 
-    // --- 2. Budget sweep ------------------------------------------
+    // --- 2. Budget sweeps -----------------------------------------
+    // Two budget axes over one table: the Echo pass's replay-*time*
+    // fraction, and the budget planner's transient-pool *byte*
+    // fraction ("fit in X bytes", solved by the chain DP).
     {
-        Table table({"budget (% of kernel time)", "regions",
+        Table table({"budget fraction", "of", "regions",
                      "memory (device)", "replay used"});
         for (const double budget : {0.01, 0.02, 0.05, 0.10, -1.0}) {
             PassConfig pc;
@@ -111,15 +117,45 @@ main()
             table.addRow(
                 {budget < 0 ? "unlimited"
                             : Table::fmtPercent(budget, 0),
-                 std::to_string(r.pass.num_regions),
+                 "kernel time", std::to_string(r.pass.num_regions),
                  Table::fmtBytes(static_cast<uint64_t>(
                      r.prof.memory.device_bytes)),
                  Table::fmtPercent(r.pass.replay_time_us /
                                    r.pass.baseline_gpu_time_us)});
         }
+        for (const double fraction : {0.75, 0.50}) {
+            models::NmtModel model(benchConfig());
+            const double baseline_kernel_us =
+                gpusim::simulateRun(model.fetches(),
+                                    gpusim::GpuSpec::titanXp())
+                    .gpu_kernel_time_us;
+            const auto live = memory::analyzeLiveness(
+                model.fetches(), model.weightGrads());
+            const int64_t baseline_pool =
+                memory::planMemory(live).pool_peak_bytes;
+            budget::BudgetConfig bc;
+            bc.solver = budget::Solver::kChainDp;
+            bc.budget_bytes = static_cast<int64_t>(
+                fraction * static_cast<double>(baseline_pool));
+            const budget::BudgetPlan plan = budget::planWithBudget(
+                model.graph(), model.fetches(), model.weightGrads(),
+                bc);
+            const train::IterationProfile prof =
+                train::profileIteration(model.fetches(),
+                                        model.weightGrads());
+            table.addRow(
+                {Table::fmtPercent(fraction, 0), "pool bytes",
+                 std::to_string(plan.pass.num_regions),
+                 Table::fmtBytes(static_cast<uint64_t>(
+                     prof.memory.device_bytes)),
+                 Table::fmtPercent(plan.pass.replay_time_us /
+                                   baseline_kernel_us)});
+        }
         bench::emit(table, "ablation_budget");
         bench::note("the cost model spends its budget on the highest "
-                    "savings-per-microsecond regions first.");
+                    "savings-per-microsecond regions first; the byte "
+                    "rows solve the inverse problem (fixed pool "
+                    "budget, minimum replay) with the chain DP.");
     }
 
     // --- 3. GEMM boundary ------------------------------------------

@@ -1,5 +1,6 @@
 #include "analysis/lifetime.h"
 
+#include <algorithm>
 #include <map>
 #include <unordered_map>
 #include <unordered_set>
@@ -238,6 +239,55 @@ analyzeLifetimes(const LivenessResult &live, const std::vector<Val> &fetches,
     checkLeaks(live, fetches, weight_grads, report);
     if (plan != nullptr)
         checkPlan(live, *plan, report);
+    return report;
+}
+
+AnalysisReport
+checkPoolBudget(const LivenessResult &live, const MemoryPlan &plan,
+                int64_t budget_bytes)
+{
+    AnalysisReport report;
+    if (plan.pool_peak_bytes <= budget_bytes)
+        return report;
+
+    // The binding buffers: transients live at the plan's peak position,
+    // largest first.  Their producers are what has to shrink (or be
+    // recomputed) for the budget to become reachable.
+    std::vector<const ValueInfo *> at_peak;
+    for (const ValueInfo &vi : live.values) {
+        if (vi.persistent)
+            continue;
+        if (vi.def_pos <= plan.peak_pos && vi.last_use_pos >= plan.peak_pos)
+            at_peak.push_back(&vi);
+    }
+    std::sort(at_peak.begin(), at_peak.end(),
+              [](const ValueInfo *a, const ValueInfo *b) {
+                  if (a->bytes != b->bytes)
+                      return a->bytes > b->bytes;
+                  return a->val.node->id < b->val.node->id;
+              });
+    constexpr size_t kMaxChain = 8;
+    if (at_peak.size() > kMaxChain)
+        at_peak.resize(kMaxChain);
+
+    std::vector<NodeRef> chain;
+    chain.reserve(at_peak.size());
+    int64_t chain_bytes = 0;
+    for (const ValueInfo *vi : at_peak) {
+        chain.push_back(NodeRef::of(vi->val.node, vi->def_pos));
+        chain_bytes += vi->bytes;
+    }
+    const std::string message =
+        "transient pool peak " + std::to_string(plan.pool_peak_bytes) +
+        " bytes exceeds budget " + std::to_string(budget_bytes) +
+        " bytes by " +
+        std::to_string(plan.pool_peak_bytes - budget_bytes) + "; the " +
+        std::to_string(chain.size()) +
+        " largest buffers live at peak position " +
+        std::to_string(plan.peak_pos) + " hold " +
+        std::to_string(chain_bytes) + " bytes";
+    report.add(Check::kBudgetExceeded, Severity::kError, message,
+               std::move(chain));
     return report;
 }
 

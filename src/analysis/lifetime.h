@@ -43,6 +43,18 @@ analyzeLifetimes(const memory::LivenessResult &live,
                  const std::vector<graph::Val> &weight_grads = {},
                  const memory::MemoryPlan *plan = nullptr);
 
+/**
+ * Check @p plan's transient pool peak against a byte budget.  Clean
+ * when pool_peak_bytes <= @p budget_bytes; otherwise one
+ * budget-exceeded error whose chain names the producing nodes of the
+ * largest transients live at the plan's peak position (the binding
+ * buffers — what must shrink or be recomputed for the budget to become
+ * reachable), largest first.
+ */
+AnalysisReport checkPoolBudget(const memory::LivenessResult &live,
+                               const memory::MemoryPlan &plan,
+                               int64_t budget_bytes);
+
 } // namespace echo::analysis
 
 #endif // ECHO_ANALYSIS_LIFETIME_H

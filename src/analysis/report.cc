@@ -93,6 +93,10 @@ checkName(Check check)
         return "fusion-illegal-group";
       case Check::kFusionValueMismatch:
         return "fusion-value-mismatch";
+      case Check::kBudgetExceeded:
+        return "budget-exceeded";
+      case Check::kPlanStale:
+        return "plan-stale";
     }
     return "?";
 }

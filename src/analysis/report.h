@@ -54,6 +54,9 @@ enum class Check {
     // Fusion auditor.
     kFusionIllegalGroup,  ///< fused group breaks a legality rule
     kFusionValueMismatch, ///< fused program != original chain (bytes)
+    // Budget planner (checkPoolBudget / plan-feasible checker).
+    kBudgetExceeded, ///< transient pool peak above the byte budget
+    kPlanStale,      ///< recorded memory plan disagrees with the graph
 };
 
 /** Stable kebab-case name of a check (diagnostic codes in output). */

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * The budget planner's solvers.  All three minimize the same objective
+ * over the same items (see budget/items.h):
+ *
+ *     minimize    replay_time(chosen)            [joint, full charge]
+ *     subject to  netSavings(chosen) >= R        [required reduction]
+ *
+ * - solveGreedy: the Echo pass's amortized best-ratio ranking, stopped
+ *   at the reduction target instead of a time budget (the baseline).
+ * - solveChainDp: exact dynamic program over the time-step chain
+ *   (Gruslys-style).  Items are swept in chain order; partial
+ *   selections are collapsed by a sufficient-statistic signature —
+ *   which stashed / recomputed values and replayed nodes are still
+ *   visible to future items — and Pareto-pruned per signature, which
+ *   is lossless because the joint cost decomposes per value and per
+ *   node.  Exact up to ~64 items; beyond that the item pool is
+ *   filtered (solo-positive items, members of jointly-positive stash
+ *   families, and the greedy solution as a seed) and `exact` is
+ *   cleared — the greedy seed keeps DP <= greedy even when filtered.
+ *   `max_states` bounds the per-sweep state set the same way.
+ * - solveLagrange: knapsack relaxation (Kusumoto-style).  Binary
+ *   search on the multiplier lambda (bytes per microsecond); for each
+ *   lambda a marginal-gain greedy maximizes net - lambda*replay; the
+ *   cheapest feasible selection across the search wins, then a trim
+ *   pass drops members the constraint does not need.
+ *
+ * The marginal-gain greedy underneath solveLagrange / maxReductionSet
+ * is family-aware: besides the best single item, each round also
+ * weighs accepting a whole shared-stash family (every item stashing
+ * a common frontier value) at its exact joint charge.  Families are
+ * how attention regions pay off — each member is solo-net-negative
+ * because of the shared keys-projection stash, but the family
+ * together stashes it once and saves every step's interior.
+ */
+#ifndef ECHO_BUDGET_SOLVERS_H
+#define ECHO_BUDGET_SOLVERS_H
+
+#include <string>
+
+#include "budget/items.h"
+
+namespace echo::budget {
+
+enum class Solver { kGreedy, kChainDp, kLagrange };
+
+/** Stable names: "greedy", "dp", "lagrange". */
+const char *solverName(Solver solver);
+
+/** Parse a solver name (as printed by solverName); false = unknown. */
+bool parseSolver(const std::string &name, Solver *out);
+
+/** What a solver chose. */
+struct SolveResult
+{
+    /** Chosen item indices, ascending. */
+    std::vector<int> chosen;
+    /** Joint full-charge cost of the chosen set. */
+    pass::SetCost cost;
+    /** cost.netSavings() >= the requested reduction.  When false, the
+     *  chosen set is the largest reduction the solver could reach. */
+    bool reached = false;
+    /** DP only: false when max_states forced lossy coarsening. */
+    bool exact = true;
+    /** Work measure (DP states explored / relaxation selections). */
+    int states = 0;
+};
+
+SolveResult solveGreedy(const ItemSet &set, int64_t required_reduction);
+
+SolveResult solveChainDp(const ItemSet &set, int64_t required_reduction,
+                         int max_states = 4096);
+
+SolveResult solveLagrange(const ItemSet &set, int64_t required_reduction,
+                          int max_bisect = 28);
+
+/** Dispatch on @p solver with default solver parameters. */
+SolveResult solve(const ItemSet &set, int64_t required_reduction,
+                  Solver solver);
+
+/**
+ * The modelled maximum-reduction selection: marginal-gain greedy at
+ * lambda = 0 (accept while joint net savings still grows).  The
+ * planner probes this set against the real memory planner to learn
+ * the tightest achievable pool peak.
+ */
+SolveResult maxReductionSet(const ItemSet &set);
+
+} // namespace echo::budget
+
+#endif // ECHO_BUDGET_SOLVERS_H

@@ -100,4 +100,63 @@ evaluateCandidate(const Candidate &cand,
     return cost;
 }
 
+void
+noteAccepted(SelectionState &state, const Candidate &cand,
+             bool per_step_fusion)
+{
+    for (const Val &v : cand.frontier)
+        if (v.node->kind == graph::NodeKind::kOp)
+            state.stashed.insert(v);
+    if (per_step_fusion)
+        for (const Val &v : cand.pinned_interior)
+            state.stashed.insert(v);
+    for (Node *n : cand.subgraph)
+        for (int i = 0; i < n->numOutputs(); ++i)
+            state.recomputed.insert(n->out(i));
+}
+
+SetCost
+evaluateAcceptedSet(const std::vector<const Candidate *> &accepted,
+                    const std::vector<FeatureMap> &all_feature_maps,
+                    const gpusim::GpuSpec &gpu, bool per_step_fusion)
+{
+    SetCost cost;
+    SelectionState joint;
+    for (const Candidate *cand : accepted)
+        noteAccepted(joint, *cand, per_step_fusion);
+
+    // Saved: feature maps the set recomputes and no member keeps
+    // stashed (as a frontier or a cross-step pinned interior value).
+    std::unordered_set<Val, graph::ValHash> fm_set;
+    for (const FeatureMap &fm : all_feature_maps)
+        fm_set.insert(fm.val);
+    for (const FeatureMap &fm : all_feature_maps)
+        if (joint.recomputed.count(fm.val) &&
+            !joint.stashed.count(fm.val))
+            cost.bytes_saved += fm.bytes;
+
+    // Added: replay-read values that were not stashed anyway, each
+    // charged once regardless of how many members share them.
+    for (const Val &v : joint.stashed)
+        if (!fm_set.count(v))
+            cost.bytes_added += graph::Graph::shapeOf(v).bytes();
+
+    // Replay: the union of subgraph nodes, each node's kernels once.
+    std::unordered_set<const Node *> replayed;
+    for (const Candidate *cand : accepted) {
+        for (const Node *n : cand->subgraph) {
+            if (!replayed.insert(n).second)
+                continue;
+            std::vector<Shape> in_shapes;
+            for (const Val &v : n->inputs)
+                in_shapes.push_back(graph::Graph::shapeOf(v));
+            for (const graph::KernelDesc &d :
+                 n->op->kernels(in_shapes, n->out_shapes))
+                cost.replay_time_us +=
+                    gpusim::estimateKernel(d, gpu).time_us;
+        }
+    }
+    return cost;
+}
+
 } // namespace echo::pass

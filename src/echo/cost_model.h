@@ -79,6 +79,40 @@ evaluateCandidate(const Candidate &cand,
                   const gpusim::GpuSpec &gpu,
                   bool per_step_fusion = true);
 
+/** Record what accepting @p cand contributes to @p state: its frontier
+ *  (and, under per-step fusion, its cross-step pinned interior) becomes
+ *  stashed, its subgraph outputs become recomputed. */
+void noteAccepted(SelectionState &state, const Candidate &cand,
+                  bool per_step_fusion);
+
+/** Full-charge joint cost of an accepted set (order-independent). */
+struct SetCost
+{
+    /** Stash bytes freed by the whole set jointly. */
+    int64_t bytes_saved = 0;
+    /** Replay-read bytes newly stashed, each charged exactly once. */
+    int64_t bytes_added = 0;
+    /** Modelled time to replay the union of the set's subgraphs once
+     *  (shared nodes charged once), microseconds. */
+    double replay_time_us = 0.0;
+
+    int64_t netSavings() const { return bytes_saved - bytes_added; }
+};
+
+/**
+ * Jointly evaluate @p accepted at full charge — the objective the
+ * budget planner's solvers optimize.  Decomposes per element: a feature
+ * map is saved iff recomputed by some member and stashed by none, a
+ * stash charge is paid once per distinct value, a subgraph node's
+ * kernels are priced once no matter how many members replay it.  This
+ * mirrors the totals runRecomputePass reports for its final set.
+ */
+SetCost
+evaluateAcceptedSet(const std::vector<const Candidate *> &accepted,
+                    const std::vector<FeatureMap> &all_feature_maps,
+                    const gpusim::GpuSpec &gpu,
+                    bool per_step_fusion = true);
+
 } // namespace echo::pass
 
 #endif // ECHO_ECHO_COST_MODEL_H

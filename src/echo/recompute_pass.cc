@@ -34,50 +34,27 @@ struct Scored
 
 } // namespace
 
-PassResult
-runRecomputePass(graph::Graph &g, const std::vector<Val> &fetches,
-                 const PassConfig &config)
+std::vector<Candidate>
+enumerateCandidates(const std::vector<FeatureMap> &fms,
+                    const std::vector<Val> &fetches,
+                    const PassConfig &config, SelectionState *state,
+                    PassResult *res)
 {
-    PassResult res;
-    if (config.policy == PassConfig::Policy::kOff)
-        return res;
-
-    obs::Span pass_span;
-    if (obs::traceEnabled())
-        pass_span.begin("echo", "recompute_pass");
     static obs::Counter &c_candidates = obs::counter("echo.candidates");
     static obs::Counter &c_admissible = obs::counter("echo.admissible");
-    static obs::Counter &c_accepted = obs::counter("echo.regions_accepted");
-    static obs::Counter &c_nodes = obs::counter("echo.recompute_nodes");
-    static obs::Counter &c_saved = obs::counter("echo.bytes_saved");
-    static obs::Counter &c_added = obs::counter("echo.bytes_added");
-
-    const std::vector<FeatureMap> fms = findFeatureMaps(fetches);
-    const gpusim::ProfileReport baseline =
-        gpusim::simulateRun(fetches, config.gpu);
-    res.baseline_gpu_time_us = baseline.gpu_kernel_time_us;
-    const double budget =
-        config.overhead_budget_fraction < 0.0
-            ? std::numeric_limits<double>::infinity()
-            : config.overhead_budget_fraction *
-                  baseline.gpu_kernel_time_us;
 
     const std::unordered_set<Val, graph::ValHash> fetch_set(
         fetches.begin(), fetches.end());
 
-    // Build candidates (two passes: the first collects the sharing
-    // multiplicity of each chargeable value — frontier and, under
-    // per-step fusion, cross-step pinned interior — so stash costs are
-    // amortized jointly across a family of regions).
     std::vector<Candidate> candidates;
-    SelectionState state;
     for (const FeatureMap &fm : fms) {
         if (fetch_set.count(fm.val))
             continue; // fetched values must survive
         if (config.policy == PassConfig::Policy::kManual &&
             fm.val.node->layer_tag != config.manual_tag)
             continue;
-        ++res.num_candidates;
+        if (res != nullptr)
+            ++res->num_candidates;
         c_candidates.add(1);
         Candidate cand =
             buildCandidate(fm, config.respect_gemm_boundary);
@@ -89,144 +66,44 @@ runRecomputePass(graph::Graph &g, const std::vector<Val> &fetches,
                                 {"bytes", fm.bytes}});
             continue;
         }
-        ++res.num_admissible;
+        if (res != nullptr)
+            ++res->num_admissible;
         c_admissible.add(1);
-        for (const Val &v : cand.frontier)
-            ++state.frontier_multiplicity[v];
-        if (config.fuse_replay)
-            for (const Val &v : cand.pinned_interior)
-                ++state.frontier_multiplicity[v];
+        if (state != nullptr) {
+            for (const Val &v : cand.frontier)
+                ++state->frontier_multiplicity[v];
+            if (config.fuse_replay)
+                for (const Val &v : cand.pinned_interior)
+                    ++state->frontier_multiplicity[v];
+        }
         candidates.push_back(std::move(cand));
     }
+    return candidates;
+}
 
-    // What an accepted candidate contributes to the selection state.
-    const auto addToState = [&config](SelectionState &st,
-                                      const Candidate &cand) {
-        for (const Val &v : cand.frontier)
-            if (v.node->kind == graph::NodeKind::kOp)
-                st.stashed.insert(v);
-        if (config.fuse_replay)
-            for (const Val &v : cand.pinned_interior)
-                st.stashed.insert(v);
-        for (Node *n : cand.subgraph)
-            for (int i = 0; i < n->numOutputs(); ++i)
-                st.recomputed.insert(n->out(i));
-    };
+void
+applyRecomputation(graph::Graph &g,
+                   const std::vector<const Candidate *> &accepted,
+                   const std::vector<FeatureMap> &fms,
+                   const PassConfig &config, PassResult &res)
+{
+    static obs::Counter &c_accepted = obs::counter("echo.regions_accepted");
+    static obs::Counter &c_nodes = obs::counter("echo.recompute_nodes");
+    static obs::Counter &c_saved = obs::counter("echo.bytes_saved");
+    static obs::Counter &c_added = obs::counter("echo.bytes_added");
 
-    std::vector<Scored> scored;
-    for (Candidate &cand : candidates) {
-        Scored s;
-        s.cost = evaluateCandidate(cand, fms, state, config.gpu,
-                                   config.fuse_replay);
-        s.cand = std::move(cand);
-        if (s.cost.netSavings() > 0)
-            scored.push_back(std::move(s));
-    }
-
-    // Best savings-per-overhead first.
-    std::sort(scored.begin(), scored.end(),
-              [](const Scored &a, const Scored &b) {
-                  if (a.ratio() != b.ratio())
-                      return a.ratio() > b.ratio();
-                  return a.cand.target.val.node->id <
-                         b.cand.target.val.node->id;
-              });
-
-    // Greedy provisional acceptance with re-evaluation against the
-    // evolving state.  Charges stay amortized here so a family of
-    // regions sharing a large frontier can get in together.
-    double replay_used_us = 0.0;
-    std::vector<const Scored *> accepted_scored;
-    for (Scored &s : scored) {
-        const CandidateCost cost = evaluateCandidate(
-            s.cand, fms, state, config.gpu, config.fuse_replay);
-        // One decision event per candidate region: the modeled savings
-        // and replay cost the selection acted on (paper Fig. 5/6 are
-        // assembled from exactly these numbers).
-        const bool net_positive = cost.netSavings() > 0;
-        const bool in_budget =
-            replay_used_us + cost.replay_time_us <= budget;
-        if (obs::traceEnabled()) {
-            obs::emitEvent(
-                'i', "echo",
-                net_positive && in_budget ? "region.accept"
-                                          : "region.reject",
-                {{"target", s.cand.target.val.node->id},
-                 {"name", s.cand.target.val.node->name},
-                 {"bytes_saved", cost.netSavings()},
-                 {"replay_us", cost.replay_time_us},
-                 {"reason", !net_positive ? "net_negative"
-                            : in_budget   ? "accepted"
-                                          : "over_budget"}});
-        }
-        if (!net_positive || !in_budget)
-            continue;
-        replay_used_us += cost.replay_time_us;
-        addToState(state, s.cand);
-        accepted_scored.push_back(&s);
-    }
-
-    // Amortization divides a shared value's cost among every admissible
-    // sharer, including ones that end up rejected — which can let a
-    // net-negative candidate in on a subsidy nobody pays.  Re-check
-    // each accepted candidate at full charge (empty multiplicity map)
-    // against the *other* accepted members: a genuine family member's
-    // shared values are stashed by its siblings and cost it nothing,
-    // while a phantom-subsidized region goes net-negative and is
-    // dropped.  Iterate to a fixpoint since a drop can orphan another.
-    for (bool changed = true; changed;) {
-        changed = false;
-        for (size_t i = 0; i < accepted_scored.size(); ++i) {
-            SelectionState others;
-            for (size_t j = 0; j < accepted_scored.size(); ++j)
-                if (j != i)
-                    addToState(others, accepted_scored[j]->cand);
-            const CandidateCost marginal = evaluateCandidate(
-                accepted_scored[i]->cand, fms, others, config.gpu,
-                config.fuse_replay);
-            if (marginal.netSavings() <= 0) {
-                if (obs::traceEnabled()) {
-                    obs::emitEvent(
-                        'i', "echo", "region.pruned",
-                        {{"target",
-                          accepted_scored[i]->cand.target.val.node->id},
-                         {"net_savings", marginal.netSavings()}});
-                }
-                accepted_scored.erase(accepted_scored.begin() +
-                                      static_cast<ptrdiff_t>(i));
-                changed = true;
-                break;
-            }
-        }
-    }
-
-    res.num_regions = static_cast<int>(accepted_scored.size());
-    if (accepted_scored.empty())
-        return res;
+    res.num_regions = static_cast<int>(accepted.size());
+    if (accepted.empty())
+        return;
 
     // Report totals recomputed at full charge over the final accepted
     // set, so PassResult matches what liveness will actually measure:
     // saved = feature maps recomputed and not pinned by any replay,
     // added = replay-read values that were not stashed before.
-    SelectionState final_state;
-    for (const Scored *s : accepted_scored)
-        addToState(final_state, s->cand);
-    {
-        std::unordered_set<Val, graph::ValHash> fm_set;
-        for (const FeatureMap &fm : fms)
-            fm_set.insert(fm.val);
-        for (const FeatureMap &fm : fms)
-            if (final_state.recomputed.count(fm.val) &&
-                !final_state.stashed.count(fm.val))
-                res.bytes_saved += fm.bytes;
-        for (const Val &v : final_state.stashed)
-            if (!fm_set.count(v))
-                res.bytes_added += graph::Graph::shapeOf(v).bytes();
-    }
-
-    std::vector<const Candidate *> accepted;
-    for (const Scored *s : accepted_scored)
-        accepted.push_back(&s->cand);
+    const SetCost joint =
+        evaluateAcceptedSet(accepted, fms, config.gpu, config.fuse_replay);
+    res.bytes_saved = joint.bytes_saved;
+    res.bytes_added = joint.bytes_added;
 
     // Union of accepted region nodes.
     std::unordered_set<Node *> region_nodes;
@@ -383,6 +260,130 @@ runRecomputePass(graph::Graph &g, const std::vector<Val> &fetches,
     c_nodes.add(res.num_recompute_nodes);
     c_saved.add(res.bytes_saved);
     c_added.add(res.bytes_added);
+}
+
+PassResult
+runRecomputePass(graph::Graph &g, const std::vector<Val> &fetches,
+                 const PassConfig &config)
+{
+    PassResult res;
+    if (config.policy == PassConfig::Policy::kOff)
+        return res;
+
+    obs::Span pass_span;
+    if (obs::traceEnabled())
+        pass_span.begin("echo", "recompute_pass");
+
+    const std::vector<FeatureMap> fms = findFeatureMaps(fetches);
+    const gpusim::ProfileReport baseline =
+        gpusim::simulateRun(fetches, config.gpu);
+    res.baseline_gpu_time_us = baseline.gpu_kernel_time_us;
+    const double budget =
+        config.overhead_budget_fraction < 0.0
+            ? std::numeric_limits<double>::infinity()
+            : config.overhead_budget_fraction *
+                  baseline.gpu_kernel_time_us;
+
+    // Build candidates; enumeration collects the sharing multiplicity
+    // of each chargeable value — frontier and, under per-step fusion,
+    // cross-step pinned interior — so stash costs are amortized jointly
+    // across a family of regions.
+    SelectionState state;
+    std::vector<Candidate> candidates =
+        enumerateCandidates(fms, fetches, config, &state, &res);
+
+    std::vector<Scored> scored;
+    for (Candidate &cand : candidates) {
+        Scored s;
+        s.cost = evaluateCandidate(cand, fms, state, config.gpu,
+                                   config.fuse_replay);
+        s.cand = std::move(cand);
+        if (s.cost.netSavings() > 0)
+            scored.push_back(std::move(s));
+    }
+
+    // Best savings-per-overhead first.
+    std::sort(scored.begin(), scored.end(),
+              [](const Scored &a, const Scored &b) {
+                  if (a.ratio() != b.ratio())
+                      return a.ratio() > b.ratio();
+                  return a.cand.target.val.node->id <
+                         b.cand.target.val.node->id;
+              });
+
+    // Greedy provisional acceptance with re-evaluation against the
+    // evolving state.  Charges stay amortized here so a family of
+    // regions sharing a large frontier can get in together.
+    double replay_used_us = 0.0;
+    std::vector<const Scored *> accepted_scored;
+    for (Scored &s : scored) {
+        const CandidateCost cost = evaluateCandidate(
+            s.cand, fms, state, config.gpu, config.fuse_replay);
+        // One decision event per candidate region: the modeled savings
+        // and replay cost the selection acted on (paper Fig. 5/6 are
+        // assembled from exactly these numbers).
+        const bool net_positive = cost.netSavings() > 0;
+        const bool in_budget =
+            replay_used_us + cost.replay_time_us <= budget;
+        if (obs::traceEnabled()) {
+            obs::emitEvent(
+                'i', "echo",
+                net_positive && in_budget ? "region.accept"
+                                          : "region.reject",
+                {{"target", s.cand.target.val.node->id},
+                 {"name", s.cand.target.val.node->name},
+                 {"bytes_saved", cost.netSavings()},
+                 {"replay_us", cost.replay_time_us},
+                 {"reason", !net_positive ? "net_negative"
+                            : in_budget   ? "accepted"
+                                          : "over_budget"}});
+        }
+        if (!net_positive || !in_budget)
+            continue;
+        replay_used_us += cost.replay_time_us;
+        noteAccepted(state, s.cand, config.fuse_replay);
+        accepted_scored.push_back(&s);
+    }
+
+    // Amortization divides a shared value's cost among every admissible
+    // sharer, including ones that end up rejected — which can let a
+    // net-negative candidate in on a subsidy nobody pays.  Re-check
+    // each accepted candidate at full charge (empty multiplicity map)
+    // against the *other* accepted members: a genuine family member's
+    // shared values are stashed by its siblings and cost it nothing,
+    // while a phantom-subsidized region goes net-negative and is
+    // dropped.  Iterate to a fixpoint since a drop can orphan another.
+    for (bool changed = true; changed;) {
+        changed = false;
+        for (size_t i = 0; i < accepted_scored.size(); ++i) {
+            SelectionState others;
+            for (size_t j = 0; j < accepted_scored.size(); ++j)
+                if (j != i)
+                    noteAccepted(others, accepted_scored[j]->cand,
+                                 config.fuse_replay);
+            const CandidateCost marginal = evaluateCandidate(
+                accepted_scored[i]->cand, fms, others, config.gpu,
+                config.fuse_replay);
+            if (marginal.netSavings() <= 0) {
+                if (obs::traceEnabled()) {
+                    obs::emitEvent(
+                        'i', "echo", "region.pruned",
+                        {{"target",
+                          accepted_scored[i]->cand.target.val.node->id},
+                         {"net_savings", marginal.netSavings()}});
+                }
+                accepted_scored.erase(accepted_scored.begin() +
+                                      static_cast<ptrdiff_t>(i));
+                changed = true;
+                break;
+            }
+        }
+    }
+
+    std::vector<const Candidate *> accepted;
+    for (const Scored *s : accepted_scored)
+        accepted.push_back(&s->cand);
+    applyRecomputation(g, accepted, fms, config, res);
     return res;
 }
 

@@ -88,6 +88,44 @@ PassResult runRecomputePass(graph::Graph &graph,
                             const std::vector<Val> &fetches,
                             const PassConfig &config = {});
 
+/**
+ * Enumerate the admissible recomputation candidates of @p fms under
+ * @p config (fetched targets skipped, kManual restricted to its layer
+ * tag).  When @p state is given, every admissible candidate's
+ * chargeable values (frontier and, under fuse_replay, cross-step
+ * pinned interior) accumulate into state->frontier_multiplicity so
+ * shared stash costs amortize across the family during ranking.  When
+ * @p res is given, num_candidates / num_admissible are filled in.
+ *
+ * This is the shared front half of runRecomputePass; the budget
+ * planner (src/budget) prices the same candidates under its solvers.
+ */
+std::vector<Candidate>
+enumerateCandidates(const std::vector<FeatureMap> &fms,
+                    const std::vector<Val> &fetches,
+                    const PassConfig &config,
+                    SelectionState *state = nullptr,
+                    PassResult *res = nullptr);
+
+/**
+ * Rewrite @p graph for the accepted candidate set: emit the replay
+ * nodes (one generated fused kernel per time-step component under
+ * fuse_replay, per-op clones otherwise), redirect backward references
+ * into them, and fill @p res's rewrite fields (num_regions,
+ * num_recompute_nodes, bytes_saved / bytes_added at full charge over
+ * the set, and replay_time_us measured on the emitted kernels).
+ *
+ * The rewrite only appends nodes and only mutates backward-phase
+ * inputs, so a trial application can be rolled back by restoring the
+ * backward inputs and Graph::truncate()-ing to the prior node count —
+ * which is how the budget planner validates a plan against the real
+ * memory planner before committing to it.
+ */
+void applyRecomputation(graph::Graph &graph,
+                        const std::vector<const Candidate *> &accepted,
+                        const std::vector<FeatureMap> &fms,
+                        const PassConfig &config, PassResult &res);
+
 } // namespace echo::pass
 
 #endif // ECHO_ECHO_RECOMPUTE_PASS_H

@@ -45,6 +45,14 @@ Graph::newNode(NodeKind kind, const std::string &name)
     return nodes_.back().get();
 }
 
+void
+Graph::truncate(size_t num_nodes)
+{
+    ECHO_CHECK(num_nodes <= nodes_.size(), "Graph::truncate(", num_nodes,
+               ") beyond current node count ", nodes_.size());
+    nodes_.resize(num_nodes);
+}
+
 Val
 Graph::placeholder(Shape shape, const std::string &name)
 {

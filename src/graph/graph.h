@@ -76,6 +76,15 @@ class Graph
     std::vector<Val> apply(OpPtr op, std::vector<Val> inputs,
                            const std::string &name = "");
 
+    /**
+     * Drop every node appended after the graph had @p num_nodes nodes
+     * (trial-rewrite rollback).  Node ids are assigned as the append
+     * position, so a later re-append reproduces identical ids.  The
+     * caller must first restore any inputs that reference the dropped
+     * nodes — no surviving node may point at them afterwards.
+     */
+    void truncate(size_t num_nodes);
+
     /** Apply an op that has exactly one output. */
     Val apply1(OpPtr op, std::vector<Val> inputs,
                const std::string &name = "");

@@ -7,11 +7,16 @@
 #include <mutex>
 #include <sstream>
 
+#include <cmath>
+
+#include "budget/planner.h"
 #include "core/logging.h"
 #include "core/thread_pool.h"
 #include "graph/autodiff.h"
 #include "graph/gemm_keys.h"
 #include "graph/schedule.h"
+#include "memory/liveness.h"
+#include "memory/planner.h"
 #include "tune/tuner.h"
 
 namespace echo::pass {
@@ -37,9 +42,11 @@ class AutodiffPass : public Pass
     }
     std::vector<Invariant> invalidates() const override
     {
-        // One-shot: the graph is no longer "fresh forward", and the
-        // backward projections launch GEMM shapes no warm-up has seen.
-        return {Invariant::kDifferentiable, Invariant::kGemmKeysWarm};
+        // One-shot: the graph is no longer "fresh forward", the
+        // backward projections launch GEMM shapes no warm-up has seen,
+        // and any earlier memory plan predates the backward nodes.
+        return {Invariant::kDifferentiable, Invariant::kGemmKeysWarm,
+                Invariant::kMemoryPlanned, Invariant::kPlanFeasible};
     }
     void
     run(PipelineContext &ctx) override
@@ -70,8 +77,10 @@ class FusionPass : public Pass
     {
         // FusedElementwiseOp has no gradient; and retyping group sinks
         // in place means an earlier recompute snapshot no longer
-        // matches the graph's history, so its audit can't replay.
-        return {Invariant::kDifferentiable, Invariant::kRecomputeApplied};
+        // matches the graph's history, so its audit can't replay.  The
+        // rewrite also changes the schedule, so memory plans go stale.
+        return {Invariant::kDifferentiable, Invariant::kRecomputeApplied,
+                Invariant::kMemoryPlanned, Invariant::kPlanFeasible};
     }
     void
     run(PipelineContext &ctx) override
@@ -103,8 +112,10 @@ class RecomputePass : public Pass
     std::vector<Invariant> invalidates() const override
     {
         // The rewrite may redirect a fused sink's frontier into
-        // recompute clones, so the fusion journal no longer replays.
-        return {Invariant::kFusionJournal, Invariant::kDifferentiable};
+        // recompute clones, so the fusion journal no longer replays;
+        // it also appends nodes, so memory plans go stale.
+        return {Invariant::kFusionJournal, Invariant::kDifferentiable,
+                Invariant::kMemoryPlanned, Invariant::kPlanFeasible};
     }
     void
     run(PipelineContext &ctx) override
@@ -205,8 +216,168 @@ class VerifyPass : public Pass
     std::vector<std::string> postconditionCheckers() const override
     {
         return {"graph-verify",  "lifetime",        "hazards",
-                "fusion-audit",  "recompute-audit", "workspace-aliasing"};
+                "fusion-audit",  "recompute-audit", "workspace-aliasing",
+                "memory-plan",   "plan-feasible"};
     }
+};
+
+/** Derives the memory plan of the current graph into ctx.plan (the
+ *  liveness analysis rides along in ctx.plan_liveness) and establishes
+ *  kMemoryPlanned so downstream passes — recompute_budget's fraction
+ *  budgets, the memory-plan checker — may rely on it. */
+class PlanPass : public Pass
+{
+  public:
+    const char *name() const override { return "plan"; }
+    std::vector<Invariant> establishes() const override
+    {
+        return {Invariant::kMemoryPlanned};
+    }
+    void
+    run(PipelineContext &ctx) override
+    {
+        const std::vector<graph::Val> eff = ctx.effectiveFetches();
+        ECHO_CHECK(!eff.empty(),
+                   "plan pass needs fetches (set ctx.loss / ctx.fetches "
+                   "or run autodiff first)");
+        ctx.plan_liveness = memory::analyzeLiveness(eff, ctx.weight_grads);
+        ctx.plan = memory::planMemory(ctx.plan_liveness);
+        ctx.has_plan = true;
+    }
+    std::vector<std::string> postconditionCheckers() const override
+    {
+        return {"graph-verify", "memory-plan"};
+    }
+};
+
+/** Budget-targeted recomputation (budget/planner.h) as a pass:
+ *  `recompute_budget(bytes=256MiB)` or
+ *  `recompute_budget(fraction=0.5:solver=dp)`.  Arguments are
+ *  ':'-separated key=value pairs (commas separate passes in a spec):
+ *
+ *    bytes=N      absolute transient-pool budget ("256MiB", "1.5GiB")
+ *    fraction=F   budget as a fraction of ctx.plan's pool peak (0..1];
+ *                 needs the plan pass — hence the kMemoryPlanned
+ *                 precondition
+ *    solver=S     greedy | dp | lagrange        (default dp)
+ *
+ *  Exactly one of bytes/fraction is required.  The pass snapshots the
+ *  graph for the recompute audit, runs planWithBudget, and re-plans
+ *  memory afterwards so kMemoryPlanned stays truthful; plan-feasible
+ *  then re-derives the peak and replays the allocation timeline. */
+class RecomputeBudgetPass : public Pass
+{
+  public:
+    RecomputeBudgetPass() : display_("recompute_budget") {}
+
+    const char *name() const override { return display_.c_str(); }
+    std::vector<Invariant> preconditions() const override
+    {
+        // Feature maps need backward consumers; fraction budgets (and
+        // the post-run re-plan contract) need a current memory plan.
+        return {Invariant::kGradients, Invariant::kMemoryPlanned};
+    }
+    std::vector<Invariant> establishes() const override
+    {
+        return {Invariant::kRecomputeApplied, Invariant::kMemoryPlanned,
+                Invariant::kPlanFeasible};
+    }
+    std::vector<Invariant> invalidates() const override
+    {
+        // Same rewrite machinery as the recompute pass.
+        return {Invariant::kFusionJournal, Invariant::kDifferentiable};
+    }
+
+    bool
+    configure(const std::string &args, std::string *error) override
+    {
+        const auto fail = [error](const std::string &msg) {
+            if (error != nullptr)
+                *error = "recompute_budget: " + msg;
+            return false;
+        };
+        if (args.empty())
+            return fail("needs bytes=<size> or fraction=<0..1>");
+        std::istringstream stream(args);
+        std::string kv;
+        while (std::getline(stream, kv, ':')) {
+            const size_t eq = kv.find('=');
+            if (eq == std::string::npos)
+                return fail("malformed argument '" + kv +
+                            "' (expected key=value)");
+            const std::string key = kv.substr(0, eq);
+            const std::string value = kv.substr(eq + 1);
+            if (key == "bytes") {
+                if (!budget::parseByteSize(value, &bytes_) || bytes_ <= 0)
+                    return fail("bad byte size '" + value + "'");
+            } else if (key == "fraction") {
+                try {
+                    fraction_ = std::stod(value);
+                } catch (...) {
+                    return fail("bad fraction '" + value + "'");
+                }
+                if (!(fraction_ > 0.0 && fraction_ <= 1.0))
+                    return fail("fraction must be in (0, 1], got '" +
+                                value + "'");
+            } else if (key == "solver") {
+                if (!budget::parseSolver(value, &solver_))
+                    return fail("unknown solver '" + value +
+                                "' (greedy | dp | lagrange)");
+            } else {
+                return fail("unknown argument '" + key +
+                            "' (bytes | fraction | solver)");
+            }
+        }
+        if ((bytes_ > 0) == (fraction_ > 0.0))
+            return fail("exactly one of bytes= and fraction= is required");
+        display_ = "recompute_budget(" + args + ")";
+        return true;
+    }
+
+    void
+    run(PipelineContext &ctx) override
+    {
+        const std::vector<graph::Val> eff = ctx.effectiveFetches();
+        ctx.recompute_snapshot =
+            analysis::snapshotGraph(*ctx.graph, eff, ctx.weight_grads);
+
+        budget::BudgetConfig config;
+        config.solver = solver_;
+        config.recompute = ctx.recompute_config;
+        if (fraction_ > 0.0) {
+            ECHO_CHECK(ctx.has_plan,
+                       "recompute_budget(fraction=...) needs the plan "
+                       "pass's memory plan");
+            config.budget_bytes = static_cast<int64_t>(std::llround(
+                fraction_ *
+                static_cast<double>(ctx.plan.pool_peak_bytes)));
+        } else {
+            config.budget_bytes = bytes_;
+        }
+
+        ctx.budget_config = config;
+        ctx.budget_plan =
+            budget::planWithBudget(*ctx.graph, eff, ctx.weight_grads,
+                                   config);
+        ctx.has_budget_plan = true;
+        ctx.recompute = ctx.budget_plan.pass;
+
+        // Keep kMemoryPlanned truthful across the rewrite.
+        ctx.plan_liveness = memory::analyzeLiveness(eff, ctx.weight_grads);
+        ctx.plan = memory::planMemory(ctx.plan_liveness);
+        ctx.has_plan = true;
+    }
+
+    std::vector<std::string> postconditionCheckers() const override
+    {
+        return {"graph-verify", "recompute-audit", "plan-feasible"};
+    }
+
+  private:
+    std::string display_;
+    int64_t bytes_ = 0;
+    double fraction_ = 0.0;
+    budget::Solver solver_ = budget::Solver::kChainDp;
 };
 
 // ---------------------------------------------------------------------
@@ -246,6 +417,8 @@ ensureBuiltinPasses()
         registerPass("gemm_warm", factoryOf<GemmWarmPass>());
         registerPass("audit_fusion", factoryOf<AuditFusionPass>());
         registerPass("verify", factoryOf<VerifyPass>());
+        registerPass("plan", factoryOf<PlanPass>());
+        registerPass("recompute_budget", factoryOf<RecomputeBudgetPass>());
     });
 }
 
@@ -268,6 +441,26 @@ joinSpec(const std::vector<std::string> &names)
     return oss.str();
 }
 
+/** Split a spec element "name(args)" into its registered name and the
+ *  argument text between the parentheses ("" when absent).  False on
+ *  unbalanced parentheses. */
+bool
+splitPassElement(const std::string &element, std::string *base,
+                 std::string *args)
+{
+    const size_t open = element.find('(');
+    if (open == std::string::npos) {
+        *base = element;
+        args->clear();
+        return true;
+    }
+    if (element.back() != ')' || open + 1 > element.size() - 1)
+        return false;
+    *base = element.substr(0, open);
+    *args = element.substr(open + 1, element.size() - open - 2);
+    return true;
+}
+
 } // namespace
 
 void
@@ -287,9 +480,12 @@ bool
 isRegisteredPass(const std::string &name)
 {
     ensureBuiltinPasses();
+    std::string base, args;
+    if (!splitPassElement(name, &base, &args))
+        return false;
     PassRegistry &reg = passRegistry();
     std::lock_guard<std::mutex> lock(reg.mu);
-    return reg.factories.count(name) != 0;
+    return reg.factories.count(base) != 0;
 }
 
 std::vector<std::string>
@@ -308,17 +504,43 @@ registeredPassNames()
 std::unique_ptr<Pass>
 makePass(const std::string &name)
 {
+    return makePass(name, nullptr);
+}
+
+std::unique_ptr<Pass>
+makePass(const std::string &name, std::string *error)
+{
     ensureBuiltinPasses();
+    std::string base, args;
+    if (!splitPassElement(name, &base, &args)) {
+        if (error != nullptr)
+            *error = "malformed pass element '" + name +
+                     "' (expected name or name(args))";
+        return nullptr;
+    }
     PassFactory factory;
     {
         PassRegistry &reg = passRegistry();
         std::lock_guard<std::mutex> lock(reg.mu);
-        auto it = reg.factories.find(name);
-        if (it == reg.factories.end())
+        auto it = reg.factories.find(base);
+        if (it == reg.factories.end()) {
+            if (error != nullptr)
+                *error = "unknown pass '" + base + "'";
             return nullptr;
+        }
         factory = it->second;
     }
-    return factory();
+    std::unique_ptr<Pass> pass = factory();
+    std::string configure_error;
+    if (!pass->configure(args, &configure_error)) {
+        if (error != nullptr)
+            *error = configure_error.empty()
+                         ? "bad arguments '" + args + "' for pass '" +
+                               base + "'"
+                         : configure_error;
+        return nullptr;
+    }
+    return pass;
 }
 
 std::string
@@ -418,9 +640,10 @@ buildPipeline(const std::string &spec)
 {
     PassManager pm;
     for (const std::string &name : parseSpec(spec)) {
-        std::unique_ptr<Pass> pass = makePass(name);
+        std::string error;
+        std::unique_ptr<Pass> pass = makePass(name, &error);
         if (pass == nullptr) {
-            ECHO_FATAL("unknown pass '", name, "' in pipeline spec '", spec,
+            ECHO_FATAL(error, " in pipeline spec '", spec,
                        "'; registered passes: ",
                        joinSpec(registeredPassNames()));
         }

@@ -11,8 +11,14 @@
  *   gemm_warm    GEMM-key autotuner warm-up (graph/gemm_keys.h)
  *   audit_fusion re-audit of the fusion journal (no transform)
  *   verify       no transform; runs every registered checker
+ *   plan         memory plan of the current graph (memory/planner.h)
+ *   recompute_budget(bytes=256MiB) | (fraction=0.5:solver=dp)
+ *                budget-targeted recomputation (budget/planner.h)
  *
- * Pipelines are comma-separated spec strings ("autodiff,fusion").  The
+ * Pipelines are comma-separated spec strings ("autodiff,fusion").  A
+ * spec element may carry arguments in parentheses — ':'-separated
+ * key=value pairs, since ',' separates passes — which makePass feeds
+ * through Pass::configure before the pass joins the pipeline.  The
  * spec call sites should actually run comes from resolveSpec(), which
  * honours ECHO_PASSES verbatim and rewrites the default spec for the
  * deprecated ECHO_FUSION=0 / ECHO_VERIFY=1 aliases (one-time warning):
@@ -47,8 +53,15 @@ bool isRegisteredPass(const std::string &name);
 /** All registered pass names, sorted. */
 std::vector<std::string> registeredPassNames();
 
-/** A fresh instance of the registered pass, or nullptr when unknown. */
+/** A fresh instance of the registered pass, or nullptr when unknown.
+ *  @p name may be a spec element with arguments ("name(args)"); the
+ *  argument text is handed to Pass::configure. */
 std::unique_ptr<Pass> makePass(const std::string &name);
+
+/** makePass that reports *why* construction failed (unknown pass,
+ *  malformed element, Pass::configure rejection) into @p error. */
+std::unique_ptr<Pass> makePass(const std::string &name,
+                               std::string *error);
 
 // ---------------------------------------------------------------------
 // Pipeline specs

@@ -18,6 +18,10 @@ invariantName(Invariant inv)
         return "layout-decided";
       case Invariant::kGemmKeysWarm:
         return "gemm-keys-warm";
+      case Invariant::kMemoryPlanned:
+        return "memory-planned";
+      case Invariant::kPlanFeasible:
+        return "plan-feasible";
     }
     return "unknown-invariant";
 }

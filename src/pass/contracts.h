@@ -49,6 +49,17 @@ enum class Invariant : uint8_t {
      *  the current graph launches.  Any pass that appends GEMM-bearing
      *  nodes (autodiff's backward projections) invalidates it. */
     kGemmKeysWarm,
+    /** ctx.plan holds a memory plan derived from the *current* graph
+     *  (ctx.plan_liveness is the matching liveness analysis).
+     *  Established by the plan pass; any pass that rewrites the graph
+     *  afterwards invalidates it unless it re-plans itself. */
+    kMemoryPlanned,
+    /** A budget-targeted recomputation plan (ctx.budget_plan) has been
+     *  produced for the current graph and its measured pool peak fits
+     *  the requested byte budget.  Established by recompute_budget;
+     *  checked post-hoc by the plan-feasible checker, which re-derives
+     *  the pool peak and replays the allocation timeline. */
+    kPlanFeasible,
 };
 
 /** Stable kebab-case name ("differentiable", "gradients", ...). */

@@ -141,11 +141,99 @@ checkWorkspaceAliasing(const PipelineContext &ctx)
                                              ctx.serve_slots);
 }
 
+analysis::AnalysisReport
+checkMemoryPlan(const PipelineContext &ctx)
+{
+    // Only meaningful while a memory plan claims to describe the
+    // current graph; passes that rewrite the graph invalidate
+    // kMemoryPlanned and silence this checker until the next re-plan.
+    if (ctx.holds.count(Invariant::kMemoryPlanned) == 0 || !ctx.has_plan)
+        return {};
+    const std::vector<graph::Val> eff = ctx.effectiveFetches();
+    if (!fetchesVerifyClean(eff))
+        return {};
+    analysis::AnalysisReport report;
+    const memory::LivenessResult live =
+        memory::analyzeLiveness(eff, ctx.weight_grads);
+    const memory::MemoryPlan fresh = memory::planMemory(live);
+    if (fresh.pool_peak_bytes != ctx.plan.pool_peak_bytes ||
+        fresh.persistent_bytes != ctx.plan.persistent_bytes) {
+        report.add(analysis::Check::kPlanStale, analysis::Severity::kError,
+                   "recorded memory plan is stale: pool peak " +
+                       std::to_string(ctx.plan.pool_peak_bytes) +
+                       " / persistent " +
+                       std::to_string(ctx.plan.persistent_bytes) +
+                       " bytes recorded, but re-planning the current graph "
+                       "gives " +
+                       std::to_string(fresh.pool_peak_bytes) + " / " +
+                       std::to_string(fresh.persistent_bytes) + " bytes");
+    }
+    return report;
+}
+
+analysis::AnalysisReport
+checkPlanFeasible(const PipelineContext &ctx)
+{
+    if (ctx.holds.count(Invariant::kPlanFeasible) == 0 ||
+        !ctx.has_budget_plan) {
+        return {};
+    }
+    const std::vector<graph::Val> eff = ctx.effectiveFetches();
+    if (!fetchesVerifyClean(eff))
+        return {};
+    analysis::AnalysisReport report;
+    const budget::BudgetPlan &bp = ctx.budget_plan;
+    if (!bp.feasible) {
+        std::ostringstream msg;
+        msg << "budget plan is infeasible: tightest achievable pool peak "
+            << budget::formatBytes(bp.tightest_pool_peak)
+            << " exceeds budget " << budget::formatBytes(bp.budget_bytes);
+        std::vector<analysis::NodeRef> chain;
+        for (const budget::BindingBuffer &b : bp.binding)
+            chain.push_back(analysis::NodeRef::of(b.val.node, b.def_pos));
+        report.add(analysis::Check::kBudgetExceeded,
+                   analysis::Severity::kError, msg.str(), std::move(chain));
+        return report;
+    }
+    // Re-derive the pool peak from the current graph — never trust the
+    // planner's own record — and independently replay the allocation
+    // timeline against it.
+    obs::MemoryTimeline timeline;
+    memory::PlannerOptions popts;
+    popts.timeline = &timeline;
+    const memory::LivenessResult live =
+        memory::analyzeLiveness(eff, ctx.weight_grads);
+    const memory::MemoryPlan plan = memory::planMemory(live, popts);
+    report.merge(
+        analysis::checkPoolBudget(live, plan, bp.budget_bytes));
+    if (plan.pool_peak_bytes != bp.planned_pool_peak) {
+        report.add(analysis::Check::kPlanStale, analysis::Severity::kError,
+                   "budget plan is stale: it recorded pool peak " +
+                       std::to_string(bp.planned_pool_peak) +
+                       " bytes but re-planning the current graph gives " +
+                       std::to_string(plan.pool_peak_bytes) + " bytes");
+    }
+    const obs::TimelineReplay replay = obs::replayTimeline(timeline);
+    if (!replay.ok() ||
+        replay.address_peak_bytes != plan.pool_peak_bytes) {
+        report.add(analysis::Check::kPlanStale, analysis::Severity::kError,
+                   "timeline replay disagrees with the memory plan: "
+                   "address peak " +
+                       std::to_string(replay.address_peak_bytes) +
+                       " bytes vs planned pool peak " +
+                       std::to_string(plan.pool_peak_bytes) + " bytes (" +
+                       std::to_string(replay.violations.size()) +
+                       " violation(s))");
+    }
+    return report;
+}
+
 /** Canonical replay order: the structural verifier first (the others
  *  defer to it), then schedule analyses, then the pass audits. */
 const char *const kBuiltinCheckerOrder[] = {
     "graph-verify",       "lifetime",        "hazards",
     "fusion-audit",       "recompute-audit", "workspace-aliasing",
+    "memory-plan",        "plan-feasible",
 };
 
 std::once_flag builtin_checkers_once;
@@ -160,6 +248,8 @@ ensureBuiltinCheckers()
         registerChecker("fusion-audit", checkFusionAudit);
         registerChecker("recompute-audit", checkRecomputeAudit);
         registerChecker("workspace-aliasing", checkWorkspaceAliasing);
+        registerChecker("memory-plan", checkMemoryPlan);
+        registerChecker("plan-feasible", checkPlanFeasible);
     });
 }
 

@@ -38,9 +38,12 @@
 #include <vector>
 
 #include "analysis/analysis.h"
+#include "budget/planner.h"
 #include "echo/recompute_pass.h"
 #include "graph/fusion.h"
 #include "layout/layout_optimizer.h"
+#include "memory/liveness.h"
+#include "memory/planner.h"
 #include "pass/contracts.h"
 #include "rnn/rnn_config.h"
 
@@ -87,6 +90,20 @@ struct PipelineContext
     /** GEMM keys the gemm_warm pass resolved (-1: pass never ran). */
     int gemm_keys_warmed = -1;
 
+    /** Memory plan of the current graph (plan pass; re-derived by
+     *  recompute_budget after its rewrite).  The memory-plan checker
+     *  re-plans and compares while kMemoryPlanned holds. */
+    bool has_plan = false;
+    memory::LivenessResult plan_liveness;
+    memory::MemoryPlan plan;
+
+    /** Budget-targeted recomputation (recompute_budget pass): what was
+     *  asked and what the planner decided/measured.  The plan-feasible
+     *  checker replays the allocation timeline against it. */
+    budget::BudgetConfig budget_config;
+    budget::BudgetPlan budget_plan;
+    bool has_budget_plan = false;
+
     /** Serving workspace journal, for the workspace-aliasing checker
      *  (empty outside serving replays). */
     std::vector<analysis::SlotInterval> serve_journal;
@@ -129,6 +146,21 @@ class Pass
     virtual std::vector<Invariant> establishes() const { return {}; }
     /** Previously established invariants this pass destroys. */
     virtual std::vector<Invariant> invalidates() const { return {}; }
+
+    /** Accept the argument string from a `name(arg:arg:...)` spec
+     *  element (the text between the parentheses; ':' separates
+     *  arguments because ',' separates passes).  Returns false and
+     *  fills @p error on malformed input.  The default accepts only an
+     *  empty argument list. */
+    virtual bool
+    configure(const std::string &args, std::string *error)
+    {
+        if (args.empty())
+            return true;
+        if (error != nullptr)
+            *error = std::string(name()) + " takes no arguments";
+        return false;
+    }
 
     /** Apply the transform. */
     virtual void run(PipelineContext &ctx) = 0;

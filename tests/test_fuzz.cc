@@ -30,6 +30,7 @@
 #include <string>
 #include <thread>
 
+#include "budget/planner.h"
 #include "core/rng.h"
 #include "core/thread_pool.h"
 #include "echo/recompute_pass.h"
@@ -443,6 +444,75 @@ TEST_P(PassFuzz, RandomLegalPipelinesPreserveBytes)
     EXPECT_TRUE(vr.shapes_match) << repro(seed) << " spec=" << spec;
     EXPECT_EQ(vr.max_abs_diff, 0.0)
         << repro(seed) << " spec=" << spec;
+}
+
+TEST_P(PassFuzz, RandomBudgetsAlwaysFit)
+{
+    const uint64_t seed = GetParam();
+
+    // Learn the achievable pool-peak range [tightest, baseline] from a
+    // sacrificial copy (a 1-byte budget is always infeasible, and an
+    // infeasible plan leaves its graph untouched).
+    int64_t tightest = 0, baseline_peak = 0;
+    {
+        RandomModel probe;
+        probe.build(seed, 24);
+        budget::BudgetConfig tiny;
+        tiny.budget_bytes = 1;
+        tiny.recompute.overhead_budget_fraction = -1.0;
+        const budget::BudgetPlan p = budget::planWithBudget(
+            *probe.g, probe.fetches, probe.weight_grads, tiny);
+        tightest = p.tightest_pool_peak;
+        baseline_peak = p.baseline_pool_peak;
+    }
+    ASSERT_GT(tightest, 0) << repro(seed);
+    ASSERT_LE(tightest, baseline_peak) << repro(seed);
+
+    // Property: EVERY budget in [tightest, baseline] is feasible, the
+    // measured peak honors it, the timeline replay agrees, and the
+    // rewrite never changes an output bit — for every solver.
+    RandomModel baseline;
+    baseline.build(seed, 24);
+    graph::Executor ex_a(baseline.fetches);
+    const auto out_a = ex_a.run(baseline.feed(seed * 31 + 7));
+
+    Rng rng(seed * 131 + 5);
+    const budget::Solver solvers[] = {budget::Solver::kGreedy,
+                                      budget::Solver::kChainDp,
+                                      budget::Solver::kLagrange};
+    for (const budget::Solver solver : solvers) {
+        const int64_t budget_bytes =
+            tightest +
+            static_cast<int64_t>(rng.uniformInt(static_cast<uint64_t>(
+                baseline_peak - tightest + 1)));
+
+        RandomModel planned;
+        planned.build(seed, 24);
+        budget::BudgetConfig config;
+        config.budget_bytes = budget_bytes;
+        config.solver = solver;
+        config.recompute.overhead_budget_fraction = -1.0;
+        const budget::BudgetPlan plan = budget::planWithBudget(
+            *planned.g, planned.fetches, planned.weight_grads, config);
+
+        ASSERT_TRUE(plan.feasible)
+            << repro(seed) << " solver=" << budget::solverName(solver)
+            << " budget=" << budget_bytes << " note=" << plan.note;
+        EXPECT_LE(plan.planned_pool_peak, budget_bytes)
+            << repro(seed) << " solver=" << budget::solverName(solver);
+        EXPECT_TRUE(plan.replay_ok)
+            << repro(seed) << " solver=" << budget::solverName(solver);
+
+        graph::Executor ex_b(planned.fetches);
+        const auto out_b = ex_b.run(planned.feed(seed * 31 + 7));
+        const analysis::VerifyResult vr =
+            analysis::compareFetches(out_a, out_b);
+        EXPECT_TRUE(vr.shapes_match)
+            << repro(seed) << " solver=" << budget::solverName(solver);
+        EXPECT_EQ(vr.max_abs_diff, 0.0)
+            << repro(seed) << " solver=" << budget::solverName(solver)
+            << " budget=" << budget_bytes;
+    }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PassFuzz,

@@ -305,6 +305,78 @@ TEST(PipelineLegality, SpecRoundTripsThroughManager)
 }
 
 // ---------------------------------------------------------------------
+// Budget passes: registration, argument parsing, contract legality
+// ---------------------------------------------------------------------
+
+TEST(BudgetPassRegistry, PassesAndCheckersRegistered)
+{
+    EXPECT_TRUE(isRegisteredPass("plan"));
+    EXPECT_TRUE(isRegisteredPass("recompute_budget"));
+    EXPECT_NE(findChecker("memory-plan"), nullptr);
+    EXPECT_NE(findChecker("plan-feasible"), nullptr);
+}
+
+TEST(BudgetPassRegistry, ConfigureRejectsMalformedArguments)
+{
+    const struct
+    {
+        const char *spec;
+        const char *expect;
+    } cases[] = {
+        {"recompute_budget", "needs bytes="},
+        {"recompute_budget(bytes=64KiB:fraction=0.5)",
+         "exactly one of bytes= and fraction="},
+        {"recompute_budget(fraction=1.5)", "fraction must be in"},
+        {"recompute_budget(bytes=1MiB:solver=simplex)",
+         "unknown solver"},
+        {"recompute_budget(bytes=zero)", "bad byte size"},
+        {"recompute_budget(pool=2GiB)", "unknown argument"},
+        {"recompute_budget(bytes)", "malformed argument"},
+    };
+    for (const auto &c : cases) {
+        std::string error;
+        EXPECT_EQ(makePass(c.spec, &error), nullptr) << c.spec;
+        EXPECT_NE(error.find(c.expect), std::string::npos)
+            << c.spec << " -> " << error;
+    }
+
+    std::string error;
+    const auto pass =
+        makePass("recompute_budget(fraction=0.5:solver=lagrange)",
+                 &error);
+    ASSERT_NE(pass, nullptr) << error;
+    EXPECT_STREQ(pass->name(),
+                 "recompute_budget(fraction=0.5:solver=lagrange)");
+}
+
+TEST(PipelineLegality, BudgetBeforePlanRejectedStatically)
+{
+    const PassManager pm = buildPipeline(
+        "autodiff,recompute_budget(bytes=64KiB),plan");
+    const std::vector<ContractViolation> violations =
+        pm.validate(freshGraphInvariants());
+    ASSERT_EQ(violations.size(), 1u);
+    EXPECT_EQ(violations[0].pass, "recompute_budget(bytes=64KiB)");
+    EXPECT_EQ(violations[0].invariant, Invariant::kMemoryPlanned);
+    EXPECT_EQ(violations[0].establisher, "plan");
+    EXPECT_NE(violations[0].message.find("order it before"),
+              std::string::npos)
+        << violations[0].message;
+}
+
+TEST(PipelineLegality, BudgetSpecRoundTripsAndValidates)
+{
+    const std::string spec =
+        "autodiff,plan,recompute_budget(bytes=64KiB:solver=dp)";
+    const PassManager pm = buildPipeline(spec);
+    EXPECT_EQ(pm.size(), 3u);
+    EXPECT_EQ(pm.spec(), spec);
+    EXPECT_STREQ(pm.at(2).name(),
+                 "recompute_budget(bytes=64KiB:solver=dp)");
+    EXPECT_TRUE(pm.validate(freshGraphInvariants()).empty());
+}
+
+// ---------------------------------------------------------------------
 // Postcondition checking
 // ---------------------------------------------------------------------
 

@@ -43,7 +43,10 @@
 
 #include "analysis/analysis.h"
 #include "analysis/hazards.h"
+#include "budget/planner.h"
 #include "echo/recompute_pass.h"
+#include "memory/liveness.h"
+#include "memory/planner.h"
 #include "models/nmt.h"
 #include "models/word_lm.h"
 #include "pass/builtin_passes.h"
@@ -61,6 +64,7 @@ struct LintOptions
     int serve_slots = 8;
     std::string pipeline;       // empty = no pipeline replay
     std::string inject;         // "" | "bad-shape"
+    int64_t budget_bytes = 0;   // >0: lint the transient pool peak too
 };
 
 /** One graph to lint: where it came from and what it computes. */
@@ -84,6 +88,15 @@ lintOne(const LintSubject &subject, const LintOptions &opts,
 {
     analysis::AnalysisReport report =
         analysis::analyzeAll(subject.fetches, subject.weight_grads);
+    if (opts.budget_bytes > 0) {
+        // The budget lint: does this graph's transient pool fit?  A
+        // violation names the binding buffers live at the peak.
+        const memory::LivenessResult live = memory::analyzeLiveness(
+            subject.fetches, subject.weight_grads);
+        const memory::MemoryPlan plan = memory::planMemory(live);
+        report.merge(
+            analysis::checkPoolBudget(live, plan, opts.budget_bytes));
+    }
     if (subject.snapshot != nullptr) {
         report.merge(analysis::auditRecomputePass(
             *subject.snapshot, *subject.graph, subject.fetches,
@@ -391,10 +404,18 @@ parseArgs(int argc, char **argv, LintOptions &opts)
             opts.pipeline = arg.substr(11);
         } else if (arg.rfind("--inject=", 0) == 0) {
             opts.inject = arg.substr(9);
+        } else if (arg.rfind("--budget=", 0) == 0) {
+            if (!budget::parseByteSize(arg.substr(9), &opts.budget_bytes) ||
+                opts.budget_bytes <= 0) {
+                std::cerr << "echo-lint: bad --budget value '"
+                          << arg.substr(9) << "'\n";
+                return false;
+            }
         } else {
             std::cerr << "echo-lint: unknown argument " << arg << "\n"
                       << "usage: echo-lint [--model=word_lm|nmt|all] "
-                         "[--policy=off|auto|all] [--dot=PATH]\n"
+                         "[--policy=off|auto|all] [--dot=PATH] "
+                         "[--budget=BYTES]\n"
                          "       echo-lint --serve-journal=PATH "
                          "[--serve-slots=N]\n"
                          "       echo-lint --pipeline=SPEC "

@@ -1,0 +1,296 @@
+/**
+ * @file
+ * Steady-state execution bench: interpreter (map) vs compiled tape on
+ * repeated training iterations, with a global allocation counter.
+ *
+ * Measures, for the word-LM and NMT training graphs:
+ *
+ *  - iterations/s for the interpreter and the tape (serial, 1 thread);
+ *  - heap allocations per steady-state iteration for both paths —
+ *    counted by overriding global operator new/delete;
+ *  - the pack-cache contribution (word-LM with the cache cleared
+ *    before every iteration, i.e. every GEMM re-packs);
+ *  - byte-identity of tape fetches vs the interpreter at 1/2/4
+ *    threads, serial and parallel.
+ *
+ * Exits nonzero if the serial tape performs ANY heap allocation in
+ * steady state, or if any fetch differs from the interpreter by a
+ * single bit.  Mirrors everything to results/BENCH_steady_state.json.
+ */
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <new>
+#include <vector>
+
+#include "analysis/numeric_verify.h"
+#include "bench_common.h"
+#include "core/thread_pool.h"
+#include "data/batcher.h"
+#include "graph/executor.h"
+#include "graph/tape.h"
+#include "models/nmt.h"
+#include "models/word_lm.h"
+#include "tensor/pack_cache.h"
+
+// ---------------------------------------------------------------------
+// Global allocation counter (armed only around the timed loops).
+// ---------------------------------------------------------------------
+
+namespace {
+std::atomic<long long> g_alloc_count{0};
+std::atomic<bool> g_alloc_armed{false};
+
+void *
+countedAlloc(std::size_t n)
+{
+    if (g_alloc_armed.load(std::memory_order_relaxed)) {
+        g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+#ifdef ECHO_ALLOC_TRACE
+        void *frames[12];
+        int depth = backtrace(frames, 12);
+        backtrace_symbols_fd(frames + 2, depth - 2, 2);
+        write(2, "----\n", 5);
+#endif
+    }
+    void *p = std::malloc(n ? n : 1);
+    if (!p)
+        throw std::bad_alloc();
+    return p;
+}
+} // namespace
+
+void *operator new(std::size_t n) { return countedAlloc(n); }
+void *operator new[](std::size_t n) { return countedAlloc(n); }
+void operator delete(void *p) noexcept { std::free(p); }
+void operator delete[](void *p) noexcept { std::free(p); }
+void operator delete(void *p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void *p, std::size_t) noexcept { std::free(p); }
+
+using namespace echo;
+
+namespace {
+
+/** Allocation count across @p fn (this thread plus any pool thread). */
+template <typename Fn>
+long long
+countAllocs(Fn &&fn)
+{
+    g_alloc_count.store(0);
+    g_alloc_armed.store(true);
+    fn();
+    g_alloc_armed.store(false);
+    return g_alloc_count.load();
+}
+
+template <typename Fn>
+double
+secondsOf(Fn &&fn)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(t1 - t0).count();
+}
+
+struct PathResult
+{
+    double iters_per_s = 0.0;
+    long long allocs_per_iter = 0;
+};
+
+/** Time @p iters steady-state runs of @p step (already warmed). */
+template <typename Fn>
+PathResult
+measure(int iters, Fn &&step)
+{
+    PathResult r;
+    r.allocs_per_iter =
+        countAllocs([&] { step(); }); // one counted steady iteration
+    const double s = secondsOf([&] {
+        for (int i = 0; i < iters; ++i)
+            step();
+    });
+    r.iters_per_s = iters / s;
+    return r;
+}
+
+struct Workload
+{
+    const char *name;
+    std::vector<graph::Val> fetches;
+    graph::FeedDict feed;
+    int iters;
+};
+
+bool
+byteIdenticalAcrossThreads(const Workload &w)
+{
+    graph::Executor ex(w.fetches, graph::ExecMode::kSerial);
+    graph::Tape tape(w.fetches);
+    bool ok = tape.arenaBytes() == tape.plan().pool_peak_bytes;
+    if (!ok)
+        bench::note("FAIL: arena bytes != planner pool peak");
+    for (const int threads : {1, 2, 4}) {
+        ThreadPool::setGlobalNumThreads(threads);
+        const std::vector<Tensor> ref = ex.run(w.feed);
+        tape.bindFeeds(w.feed);
+        for (const bool parallel : {false, true}) {
+            const std::vector<Tensor> out = tape.run(parallel);
+            const analysis::VerifyResult vr =
+                analysis::compareFetches(out, ref);
+            if (!vr.shapes_match || vr.max_abs_diff != 0.0) {
+                bench::note(std::string("FAIL: ") + w.name +
+                            " differs from the interpreter at threads=" +
+                            std::to_string(threads) +
+                            (parallel ? " (parallel)" : " (serial)"));
+                ok = false;
+            }
+        }
+    }
+    ThreadPool::setGlobalNumThreads(ThreadPool::defaultNumThreads());
+    return ok;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::begin("Steady-state execution: interpreter vs compiled tape",
+                 "One training iteration repeated; the tape replays "
+                 "planner-addressed records from an arena with zero "
+                 "steady-state allocations (target >= 1.15x on the "
+                 "word-LM iteration).");
+
+    models::WordLmConfig lm_cfg;
+    lm_cfg.vocab = 2000;
+    lm_cfg.hidden = 200;
+    lm_cfg.layers = 2;
+    lm_cfg.batch = 16;
+    lm_cfg.seq_len = 20;
+    models::WordLmModel lm(lm_cfg);
+    Rng lm_rng(7);
+    models::ParamStore lm_params = lm.initialParams(lm_rng);
+    data::CorpusConfig cc;
+    cc.vocab = data::Vocab{lm_cfg.vocab};
+    cc.num_tokens = 20000;
+    cc.seed = 3;
+    data::Corpus corpus = data::Corpus::generate(cc);
+    data::LmBatcher lm_batcher(corpus, lm_cfg.batch, lm_cfg.seq_len);
+    std::vector<graph::Val> lm_fetches = lm.fetches();
+    lm_fetches.insert(lm_fetches.end(), lm.weightGrads().begin(),
+                      lm.weightGrads().end());
+    Workload lm_work{"word-lm-train", lm_fetches,
+                     lm.makeFeed(lm_params, lm_batcher.next()), 20};
+
+    models::NmtConfig nmt_cfg;
+    nmt_cfg.src_vocab = 800;
+    nmt_cfg.tgt_vocab = 800;
+    nmt_cfg.hidden = 64;
+    nmt_cfg.enc_layers = 1;
+    nmt_cfg.batch = 8;
+    nmt_cfg.src_len = 12;
+    nmt_cfg.tgt_len = 12;
+    models::NmtModel nmt(nmt_cfg);
+    Rng nmt_rng(5);
+    models::ParamStore nmt_params = nmt.initialParams(nmt_rng);
+    data::ParallelCorpusConfig pcc;
+    pcc.src_vocab = data::Vocab{nmt_cfg.src_vocab};
+    pcc.tgt_vocab = data::Vocab{nmt_cfg.tgt_vocab};
+    pcc.num_pairs = 256;
+    pcc.min_len = 6;
+    pcc.max_len = 12;
+    pcc.seed = 11;
+    data::ParallelCorpus pc = data::ParallelCorpus::generate(pcc);
+    data::NmtBatcher nmt_batcher(pc, nmt_cfg.batch, nmt_cfg.src_len,
+                                 nmt_cfg.tgt_len);
+    std::vector<graph::Val> nmt_fetches = nmt.fetches();
+    nmt_fetches.insert(nmt_fetches.end(), nmt.weightGrads().begin(),
+                       nmt.weightGrads().end());
+    Workload nmt_work{"nmt-train", nmt_fetches,
+                      nmt.makeFeed(nmt_params, nmt_batcher.next()), 20};
+
+    int exit_code = 0;
+    Table table({"workload", "path", "iters/s", "allocs/iter",
+                 "speedup vs map"});
+    std::ofstream json;
+    std::error_code ec;
+    std::filesystem::create_directories("results", ec);
+    json.open("results/BENCH_steady_state.json");
+    json << "{\n  \"workloads\": [\n";
+
+    bool first_json = true;
+    for (Workload *w : {&lm_work, &nmt_work}) {
+        ThreadPool::setGlobalNumThreads(1);
+
+        graph::Executor ex(w->fetches, graph::ExecMode::kSerial);
+        (void)ex.run(w->feed); // warm: packs built, caches primed
+        const PathResult map_r =
+            measure(w->iters, [&] { (void)ex.run(w->feed); });
+
+        graph::Tape tape(w->fetches);
+        tape.bindFeeds(w->feed);
+        std::vector<Tensor> out;
+        tape.runInto(out, false); // warm: arena claimed, scratch sized
+        tape.runInto(out, false); // both parity halves touched
+        const PathResult tape_r =
+            measure(w->iters, [&] { tape.runInto(out, false); });
+
+        // Pack-cache contribution: clear before every iteration so
+        // every GEMM re-packs its panels (the no-reuse baseline).
+        const PathResult cold_r = measure(w->iters, [&] {
+            ops::clearPackCacheForTest();
+            tape.runInto(out, false);
+        });
+        ops::clearPackCacheForTest();
+        tape.runInto(out, false); // re-prime for any later use
+
+        const double speedup = tape_r.iters_per_s / map_r.iters_per_s;
+        table.addRow({w->name, "interpreter", Table::fmt(map_r.iters_per_s, 2),
+                      std::to_string(map_r.allocs_per_iter), "1.00x"});
+        table.addRow({w->name, "tape", Table::fmt(tape_r.iters_per_s, 2),
+                      std::to_string(tape_r.allocs_per_iter),
+                      Table::fmt(speedup, 2) + "x"});
+        table.addRow({w->name, "tape, packs cleared/iter",
+                      Table::fmt(cold_r.iters_per_s, 2),
+                      std::to_string(cold_r.allocs_per_iter),
+                      Table::fmt(cold_r.iters_per_s / map_r.iters_per_s,
+                                 2) +
+                          "x"});
+
+        if (tape_r.allocs_per_iter != 0) {
+            bench::note(std::string("FAIL: ") + w->name +
+                        " serial tape performed " +
+                        std::to_string(tape_r.allocs_per_iter) +
+                        " heap allocation(s) in steady state (want 0)");
+            exit_code = 1;
+        }
+        if (!byteIdenticalAcrossThreads(*w))
+            exit_code = 1;
+
+        if (!first_json)
+            json << ",\n";
+        first_json = false;
+        json << "    {\"workload\": \"" << w->name
+             << "\", \"map_iters_per_s\": " << map_r.iters_per_s
+             << ", \"map_allocs_per_iter\": " << map_r.allocs_per_iter
+             << ", \"tape_iters_per_s\": " << tape_r.iters_per_s
+             << ", \"tape_allocs_per_iter\": " << tape_r.allocs_per_iter
+             << ", \"tape_cold_pack_iters_per_s\": " << cold_r.iters_per_s
+             << ", \"speedup\": " << speedup << "}";
+    }
+    json << "\n  ],\n  \"target_speedup\": 1.15\n}\n";
+    json.close();
+
+    bench::emit(table, "steady_state");
+    bench::note("tape steady state must allocate nothing: the arena "
+                "serves every transient at its planned offset and "
+                "feeds re-bind by index.");
+    bench::note("target: >= 1.15x on the word-LM training iteration "
+                "(pack cache + zero-alloc dispatch).");
+    if (exit_code != 0)
+        bench::note("STEADY-STATE CONTRACT VIOLATED (see FAIL lines)");
+    return exit_code;
+}

@@ -21,6 +21,7 @@
 #include "analysis/numeric_verify.h"
 #include "analysis/pass_audit.h"
 #include "analysis/report.h"
+#include "analysis/tape_audit.h"
 
 namespace echo::analysis {
 

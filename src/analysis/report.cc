@@ -97,6 +97,8 @@ checkName(Check check)
         return "budget-exceeded";
       case Check::kPlanStale:
         return "plan-stale";
+      case Check::kTapeSlotMismatch:
+        return "tape-slot-mismatch";
     }
     return "?";
 }

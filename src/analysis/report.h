@@ -57,6 +57,8 @@ enum class Check {
     // Budget planner (checkPoolBudget / plan-feasible checker).
     kBudgetExceeded, ///< transient pool peak above the byte budget
     kPlanStale,      ///< recorded memory plan disagrees with the graph
+    // Execution-tape auditor.
+    kTapeSlotMismatch, ///< a tape slot disagrees with the memory plan
 };
 
 /** Stable kebab-case name of a check (diagnostic codes in output). */

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Independent audit of a compiled execution tape (graph/tape.h).
+ *
+ * The tape's whole claim is that the memory plan IS the allocator: an
+ * arena of exactly pool_peak_bytes, every transient output placed at
+ * its planner offset, buffers released by ref count as the records
+ * retire.  auditTape re-checks that claim without trusting the tape's
+ * own compile-time bookkeeping:
+ *
+ *  - the arena must be plan().pool_peak_bytes, byte for byte, and
+ *    re-planning the tape's own liveness analysis must reproduce that
+ *    peak (a mismatch means the tape was compiled against a stale
+ *    plan);
+ *  - the re-plan records an obs::MemoryTimeline whose address replay
+ *    must agree with the arena size (the planner's footprint curve,
+ *    independently integrated);
+ *  - every transient output slot must sit at its planned offset with
+ *    its planned size, inside the arena;
+ *  - replaying the records in schedule order with the tape's own
+ *    release lists must never place two simultaneously-live transients
+ *    in overlapping bytes, must free every transient exactly once, and
+ *    must reach a high-water mark equal to pool_peak_bytes.
+ *
+ * Wired into the pass manager as the `tape-ready` postcondition
+ * checker of the tape_compile pass, and into `echo-lint --tape`.
+ */
+#ifndef ECHO_ANALYSIS_TAPE_AUDIT_H
+#define ECHO_ANALYSIS_TAPE_AUDIT_H
+
+#include "analysis/report.h"
+
+namespace echo::graph {
+class Tape;
+} // namespace echo::graph
+
+namespace echo::analysis {
+
+/** Replay @p tape's records against its liveness/plan (see file
+ *  comment).  Pure analysis: never runs the tape. */
+AnalysisReport auditTape(const graph::Tape &tape);
+
+} // namespace echo::analysis
+
+#endif // ECHO_ANALYSIS_TAPE_AUDIT_H

@@ -9,6 +9,7 @@
  */
 #include "graph/graph.h"
 #include "graph/ops/oplib.h"
+#include "tensor/kernel_par.h"
 #include "tensor/ops.h"
 
 #include "core/logging.h"
@@ -305,9 +306,21 @@ class TanhGradOp : public ActGradOp
     forward(const std::vector<Tensor> &in,
             std::vector<Tensor> &out) const override
     {
-        const Tensor one_minus_y2 =
-            ops::addScalar(ops::negate(ops::square(in[1])), 1.0f);
-        out[0] = ops::mul(in[0], one_minus_y2);
+        // One output-sized allocation (tape steady state); per-element
+        // float ops in the lowering's exact order: square, neg, +1,
+        // mul — bit-identical to both the op chain and the fused form.
+        Tensor r(in[1].shape());
+        const float *pd = in[0].data();
+        const float *py = in[1].data();
+        float *pr = r.data();
+        ops::detail::parallelUnits(r.numel(), 1,
+                                   [=](int64_t i0, int64_t i1) {
+                                       for (int64_t i = i0; i < i1; ++i)
+                                           pr[i] = pd[i] *
+                                                   (-(py[i] * py[i]) +
+                                                    1.0f);
+                                   });
+        out[0] = std::move(r);
     }
 
     // Same primitive steps as forward(): square, negate, +1, multiply.
@@ -329,9 +342,20 @@ class SigmoidGradOp : public ActGradOp
     forward(const std::vector<Tensor> &in,
             std::vector<Tensor> &out) const override
     {
-        const Tensor y_one_minus_y =
-            ops::mul(in[1], ops::addScalar(ops::negate(in[1]), 1.0f));
-        out[0] = ops::mul(in[0], y_one_minus_y);
+        // Single allocation; float-op order matches the lowering:
+        // neg, +1, mul by y, mul by dy.
+        Tensor r(in[1].shape());
+        const float *pd = in[0].data();
+        const float *py = in[1].data();
+        float *pr = r.data();
+        ops::detail::parallelUnits(r.numel(), 1,
+                                   [=](int64_t i0, int64_t i1) {
+                                       for (int64_t i = i0; i < i1; ++i)
+                                           pr[i] = pd[i] *
+                                                   (py[i] *
+                                                    (-py[i] + 1.0f));
+                                   });
+        out[0] = std::move(r);
     }
 
     std::vector<EwInstr> elementwiseLowering() const override
@@ -352,10 +376,18 @@ class ReluGradOp : public ActGradOp
     forward(const std::vector<Tensor> &in,
             std::vector<Tensor> &out) const override
     {
-        Tensor mask(in[1].shape());
-        for (int64_t i = 0; i < in[1].numel(); ++i)
-            mask.data()[i] = in[1].data()[i] > 0.0f ? 1.0f : 0.0f;
-        out[0] = ops::mul(in[0], mask);
+        // Single allocation; mask-then-multiply per element, matching
+        // the lowering's kGtZeroMask + kMul order.
+        Tensor r(in[1].shape());
+        const float *pd = in[0].data();
+        const float *py = in[1].data();
+        float *pr = r.data();
+        ops::detail::parallelUnits(
+            r.numel(), 1, [=](int64_t i0, int64_t i1) {
+                for (int64_t i = i0; i < i1; ++i)
+                    pr[i] = pd[i] * (py[i] > 0.0f ? 1.0f : 0.0f);
+            });
+        out[0] = std::move(r);
     }
 
     std::vector<EwInstr> elementwiseLowering() const override

@@ -201,7 +201,13 @@ FusedElementwiseOp::forward(const std::vector<Tensor> &in,
     Tensor result(in[0].shape());
     float *res = result.data();
 
-    std::vector<const float *> src(in.size());
+    // Reused per-thread scratch: forward() is on the steady-state
+    // (tape) hot path, where every per-dispatch heap allocation shows
+    // up in the zero-malloc audit.  Grow-only resize — the register
+    // file is bounded by the largest fused program seen.
+    thread_local std::vector<const float *> src_scratch;
+    src_scratch.resize(in.size());
+    const float **src = src_scratch.data();
     for (size_t i = 0; i < in.size(); ++i)
         src[i] = in[i].data();
     const int num_inputs = spec_.num_inputs;
@@ -209,12 +215,17 @@ FusedElementwiseOp::forward(const std::vector<Tensor> &in,
     const std::vector<EwInstr> &program = spec_.program;
 
     ops::detail::parallelUnits(n, 1, [&](int64_t i0, int64_t i1) {
-        // Per-chunk register file; interior values never touch a
-        // planned allocation.
-        std::vector<float> regs(
-            static_cast<size_t>(num_temps) * kEwBlockElems);
-        std::vector<const float *> rd(
-            static_cast<size_t>(spec_.num_regs));
+        // Per-thread register file; interior values never touch a
+        // planned allocation.  Register contents are never read before
+        // the program writes them (validateSpec), so stale bytes from
+        // the previous dispatch are harmless.
+        thread_local std::vector<float> regs_scratch;
+        thread_local std::vector<const float *> rd_scratch;
+        regs_scratch.resize(static_cast<size_t>(num_temps) *
+                            kEwBlockElems);
+        rd_scratch.resize(static_cast<size_t>(spec_.num_regs));
+        std::vector<float> &regs = regs_scratch;
+        std::vector<const float *> &rd = rd_scratch;
         for (int64_t base = i0; base < i1; base += kEwBlockElems) {
             const int64_t len = std::min(kEwBlockElems, i1 - base);
             for (int i = 0; i < num_inputs; ++i)

@@ -319,8 +319,9 @@ class CrossEntropyGradOp : public Op
     forward(const std::vector<Tensor> &in,
             std::vector<Tensor> &out) const override
     {
-        out[0] = ops::mulScalar(ops::crossEntropyGrad(in[1], in[2]),
-                                in[0].at(0));
+        // Fold the upstream dL into the masking pass: one output-sized
+        // allocation, so the tape's arena slot always serves it.
+        out[0] = ops::crossEntropyGrad(in[1], in[2], in[0].at(0));
     }
 
     std::vector<Val>
@@ -408,8 +409,7 @@ class EmbeddingGradOp : public Op
     forward(const std::vector<Tensor> &in,
             std::vector<Tensor> &out) const override
     {
-        const Tensor table = Tensor::zeros(table_shape_);
-        out[0] = ops::embeddingGrad(table, in[0], in[1]);
+        out[0] = ops::embeddingGrad(table_shape_, in[0], in[1]);
     }
 
     std::vector<Val>

@@ -293,19 +293,20 @@ class SliceGradOp : public Op
     forward(const std::vector<Tensor> &in,
             std::vector<Tensor> &out) const override
     {
-        std::vector<int64_t> dims = in[0].shape().dims();
         const int nd = in[0].shape().ndim();
         const int axis = axis_ < 0 ? axis_ + nd : axis_;
-        dims[static_cast<size_t>(axis)] = extent_;
-        Tensor full = Tensor::zeros(Shape(dims));
+        // withDim, not dims(): this runs once per slice per iteration
+        // and must stay allocation-free for the tape's steady state.
+        const Shape full_shape = in[0].shape().withDim(axis, extent_);
+        Tensor full = Tensor::zeros(full_shape);
 
         // Scatter the slice back: iterate outer x span x inner.
         int64_t outer = 1;
         for (int d = 0; d < axis; ++d)
-            outer *= dims[static_cast<size_t>(d)];
+            outer *= full_shape[d];
         int64_t inner = 1;
         for (int d = axis + 1; d < nd; ++d)
-            inner *= dims[static_cast<size_t>(d)];
+            inner *= full_shape[d];
         const int64_t span = end_ - begin_;
         for (int64_t o = 0; o < outer; ++o)
             for (int64_t i = 0; i < span; ++i) {

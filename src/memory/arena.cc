@@ -1,0 +1,26 @@
+#include "memory/arena.h"
+
+#include <cstdlib>
+#include <new>
+
+#include "core/logging.h"
+
+namespace echo::memory {
+
+Arena::Arena(int64_t bytes, int64_t alignment)
+{
+    ECHO_REQUIRE(bytes >= 0, "negative arena size");
+    ECHO_REQUIRE(alignment > 0 && (alignment & (alignment - 1)) == 0,
+                 "arena alignment must be a power of two");
+    bytes_ = bytes;
+    if (bytes == 0)
+        return;
+    const auto av =
+        static_cast<std::align_val_t>(static_cast<size_t>(alignment));
+    void *raw = ::operator new(static_cast<size_t>(bytes), av);
+    block_ = std::shared_ptr<void>(
+        raw, [av](void *p) { ::operator delete(p, av); });
+    base_ = static_cast<float *>(raw);
+}
+
+} // namespace echo::memory

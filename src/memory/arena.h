@@ -1,0 +1,66 @@
+/**
+ * @file
+ * A single aligned block of float storage that makes a MemoryPlan's
+ * pool offsets real addresses.
+ *
+ * The planner (memory/planner.h) assigns every transient value a byte
+ * offset in a simulated pool; an Arena of exactly pool_peak_bytes
+ * turns those offsets into pointers, closing the loop — the plan IS
+ * the allocator.  Arenas are shared-ownership value types: the block
+ * stays alive as long as any Arena copy or any tensor served from it
+ * (via the owner() handle) does.
+ */
+#ifndef ECHO_MEMORY_ARENA_H
+#define ECHO_MEMORY_ARENA_H
+
+#include <cstdint>
+#include <memory>
+
+namespace echo::memory {
+
+/** One aligned block of bytes addressed by plan offsets. */
+class Arena
+{
+  public:
+    /** An empty arena (no storage). */
+    Arena() = default;
+
+    /** Allocate @p bytes with @p alignment (the planner's granularity,
+     *  so every planned offset is itself aligned within the block). */
+    explicit Arena(int64_t bytes, int64_t alignment = 256);
+
+    /** Base address (nullptr when empty). */
+    float *base() const { return base_; }
+
+    /** Block size in bytes. */
+    int64_t bytes() const { return bytes_; }
+
+    /** Address at @p byte_offset into the block. */
+    float *
+    at(int64_t byte_offset) const
+    {
+        return reinterpret_cast<float *>(
+            reinterpret_cast<char *>(base_) + byte_offset);
+    }
+
+    /** True when @p p points inside the block. */
+    bool
+    contains(const void *p) const
+    {
+        const char *c = static_cast<const char *>(p);
+        const char *b = reinterpret_cast<const char *>(base_);
+        return base_ && c >= b && c < b + bytes_;
+    }
+
+    /** Keep-alive handle for tensors served from this block. */
+    const std::shared_ptr<void> &owner() const { return block_; }
+
+  private:
+    std::shared_ptr<void> block_;
+    float *base_ = nullptr;
+    int64_t bytes_ = 0;
+};
+
+} // namespace echo::memory
+
+#endif // ECHO_MEMORY_ARENA_H

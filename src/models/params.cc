@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "core/logging.h"
+#include "tensor/pack_cache.h"
 
 namespace echo::models {
 
@@ -31,6 +32,10 @@ feedParams(graph::FeedDict &feed, const NamedWeights &weights,
     for (const auto &[name, val] : weights) {
         auto it = params.find(name);
         ECHO_REQUIRE(it != params.end(), "no parameter named ", name);
+        // Weight operands are the persistent-pack-cache population:
+        // registration is what lets GEMM reuse packed panels across
+        // iterations (re-registering the same storage is a no-op).
+        ops::registerPackableTensor(it->second);
         feed[val.node] = it->second;
     }
 }

@@ -9,6 +9,7 @@
 #include "models/serialize.h"
 #include "obs/trace.h"
 #include "serve/beam.h"
+#include "tensor/pack_cache.h"
 #include "tune/tuner.h"
 
 namespace echo::serve {
@@ -208,6 +209,13 @@ InferenceSession::fromCheckpoint(const std::string &path,
     tune::ensureGlobalTuner();
 
     ParamStore params = models::loadParams(path);
+    // Register every checkpoint tensor with the persistent pack cache
+    // up front: serving weights never change version, so the panels
+    // packed on the first decode serve every later request.
+    for (const auto &[name, t] : params) {
+        (void)name;
+        ops::registerPackableTensor(t);
+    }
     if (params.count("src_embedding.table")) {
         models::NmtConfig mcfg = inferNmtConfig(params, path);
         return std::make_unique<NmtSession>(mcfg, std::move(params),

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * The GEMM panel-packing routines, exposed for the pack cache.
+ *
+ * ops_gemm.cc owns the definitions (they are part of the kernel's
+ * bitwise contract); tensor/pack_cache.cc calls them to build cached
+ * panels with EXACTLY the layout the micro-kernels consume, so a
+ * cached panel is byte-identical to a freshly packed one and caching
+ * can never change results.
+ */
+#ifndef ECHO_TENSOR_GEMM_PACK_H
+#define ECHO_TENSOR_GEMM_PACK_H
+
+#include <cstdint>
+
+namespace echo::ops::detail {
+
+/**
+ * Pack alpha * A'[ic:ic+mc, pc:pc+kc] into mr-tall row micro-panels
+ * (depth-major, zero-padded tail rows).  A' is the logical [M x K]
+ * operand (trans_a reads a as its transpose).
+ */
+void packAPanel(const float *a, bool trans_a, int64_t m, int64_t k,
+                int64_t ic, int64_t mc, int64_t pc, int64_t kc,
+                float alpha, float *dst, int64_t mr);
+
+/**
+ * Pack B'[pc:pc+kc, jc:jc+nc] into nr-wide column micro-panels with
+ * zero-padded tail columns.  B' is the logical [K x N] operand.
+ */
+void packBPanel(const float *b, bool trans_b, int64_t k, int64_t n,
+                int64_t pc, int64_t kc, int64_t jc, int64_t nc,
+                float *dst, int64_t nr);
+
+} // namespace echo::ops::detail
+
+#endif // ECHO_TENSOR_GEMM_PACK_H

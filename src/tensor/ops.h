@@ -163,8 +163,11 @@ Tensor logSoftmaxLastAxis(const Tensor &a);
  */
 Tensor crossEntropy(const Tensor &logits, const Tensor &labels);
 
-/** Gradient of crossEntropy with respect to the logits. */
-Tensor crossEntropyGrad(const Tensor &logits, const Tensor &labels);
+/** Gradient of crossEntropy with respect to the logits, scaled by the
+ *  upstream loss gradient (folded into the masking pass so callers
+ *  need no second output-sized multiply). */
+Tensor crossEntropyGrad(const Tensor &logits, const Tensor &labels,
+                        float loss_grad = 1.0f);
 
 /**
  * Layer normalization along the last axis with learnable gain/bias
@@ -178,6 +181,11 @@ Tensor embeddingLookup(const Tensor &table, const Tensor &ids);
 
 /** Scatter-add gradient of embeddingLookup into a [V x H] tensor. */
 Tensor embeddingGrad(const Tensor &table, const Tensor &ids,
+                     const Tensor &out_grad);
+
+/** Same, from the table's shape alone — no dummy table allocation
+ *  (the tape-friendly form: exactly one output-sized allocation). */
+Tensor embeddingGrad(const Shape &table_shape, const Tensor &ids,
                      const Tensor &out_grad);
 
 } // namespace echo::ops

@@ -45,8 +45,11 @@
 
 #include "core/logging.h"
 #include "core/thread_pool.h"
+#include "tensor/gemm_pack.h"
 #include "tensor/gemm_schedule.h"
 #include "tensor/ops.h"
+#include "tensor/pack_cache.h"
+#include "tensor/pack_scratch.h"
 
 #if defined(__GNUC__) || defined(__clang__)
 #define ECHO_GEMM_RESTRICT __restrict__
@@ -74,15 +77,19 @@ elemB(const float *b, bool trans_b, int64_t k, int64_t n, int64_t p,
     return trans_b ? b[j * k + p] : b[p * n + j];
 }
 
+} // namespace
+
+namespace detail {
+
 /**
  * Pack alpha * A'[ic:ic+mc, pc:pc+kc] into mr-tall row micro-panels:
  * panel r holds rows [r*mr, r*mr+mr) depth-major, short tail rows
  * zero-padded so the micro-kernel never branches on the row count.
  */
 void
-packA(const float *a, bool trans_a, int64_t m, int64_t k, int64_t ic,
-      int64_t mc, int64_t pc, int64_t kc, float alpha, float *dst,
-      int64_t mr)
+packAPanel(const float *a, bool trans_a, int64_t m, int64_t k,
+           int64_t ic, int64_t mc, int64_t pc, int64_t kc, float alpha,
+           float *dst, int64_t mr)
 {
     for (int64_t ir = 0; ir < mc; ir += mr) {
         const int64_t h = std::min(mr, mc - ir);
@@ -101,8 +108,9 @@ packA(const float *a, bool trans_a, int64_t m, int64_t k, int64_t ic,
  * zero-padded tail columns.
  */
 void
-packB(const float *b, bool trans_b, int64_t k, int64_t n, int64_t pc,
-      int64_t kc, int64_t jc, int64_t nc, float *dst, int64_t nr)
+packBPanel(const float *b, bool trans_b, int64_t k, int64_t n,
+           int64_t pc, int64_t kc, int64_t jc, int64_t nc, float *dst,
+           int64_t nr)
 {
     for (int64_t jr = 0; jr < nc; jr += nr) {
         const int64_t w = std::min(nr, nc - jr);
@@ -115,6 +123,13 @@ packB(const float *b, bool trans_b, int64_t k, int64_t n, int64_t pc,
         }
     }
 }
+
+} // namespace detail
+
+namespace {
+
+using detail::packAPanel;
+using detail::packBPanel;
 
 /**
  * One j-iteration's worth of FMAs, the micro-tile row dimension
@@ -262,11 +277,15 @@ directMicro(int32_t mr, int32_t nr)
  * Blocked GEMM body: C[M x N] += alpha * A' * B' over raw pointers,
  * driven by @p sch.  @p allow_parallel lets bmm() force per-item
  * serial execution when it already parallelizes over the batch.
+ * @p a_pack / @p b_pack are optional pre-packed panels from the
+ * weight cache (byte-identical to what the packing loops here would
+ * produce); when present the corresponding packing pass is skipped.
  */
 void
 gemmBlocked(const float *a, bool trans_a, const float *b, bool trans_b,
             float *c, int64_t m, int64_t n, int64_t k, float alpha,
-            const GemmSchedule &sch, bool allow_parallel)
+            const GemmSchedule &sch, bool allow_parallel,
+            const CachedPack &a_pack = {}, const CachedPack &b_pack = {})
 {
     if (m <= 0 || n <= 0 || k <= 0)
         return;
@@ -297,27 +316,37 @@ gemmBlocked(const float *a, bool trans_a, const float *b, bool trans_b,
         par = GemmParallel::kNone;
 
     const size_t apack_elems =
-        static_cast<size_t>((mc + mr - 1) / mr * mr * kcb);
+        a_pack ? 0
+               : static_cast<size_t>((mc + mr - 1) / mr * mr * kcb);
     const size_t bpack_elems =
-        direct_b ? 0
-                 : static_cast<size_t>(
-                       (std::min(ncb, n) + nr - 1) / nr * nr * kcb);
+        (direct_b || b_pack)
+            ? 0
+            : static_cast<size_t>(
+                  (std::min(ncb, n) + nr - 1) / nr * nr * kcb);
 
     // Run row blocks [blk0, blk1) against the (jc, pc) panel.  @p bp
     // is the packed B panel (null for direct-B).
     auto row_range = [&](int64_t jc, int64_t nc_cur, int64_t pc,
                          int64_t kc_cur, const float *bp,
                          int64_t blk0, int64_t blk1, float *apack) {
+        const int64_t pb = pc / kcb;
         for (int64_t blk = blk0; blk < blk1; ++blk) {
             const int64_t ic = blk * mc;
             const int64_t mc_cur = std::min(mc, m - ic);
-            packA(a, trans_a, m, k, ic, mc_cur, pc, kc_cur, alpha,
-                  apack, mr);
+            const float *apanel;
+            if (a_pack) {
+                apanel = a_pack.data +
+                         a_pack.offsets[blk * a_pack.k_blocks + pb];
+            } else {
+                packAPanel(a, trans_a, m, k, ic, mc_cur, pc, kc_cur,
+                           alpha, apack, mr);
+                apanel = apack;
+            }
             for (int64_t jr = 0; jr < nc_cur; jr += nr) {
                 const int64_t w = std::min(nr, nc_cur - jr);
                 for (int64_t ir = 0; ir < mc_cur; ir += mr) {
                     const int64_t h = std::min(mr, mc_cur - ir);
-                    const float *ap = apack + (ir / mr) * mr * kc_cur;
+                    const float *ap = apanel + (ir / mr) * mr * kc_cur;
                     float *cptr = c + (ic + ir) * n + jc + jr;
                     if (direct_b)
                         direct_fn(ap, b + pc * n + jc + jr, n, kc_cur,
@@ -330,6 +359,23 @@ gemmBlocked(const float *a, bool trans_a, const float *b, bool trans_b,
         }
     };
 
+    // The B panel for (jc block cb, pc block pb): cached bytes when
+    // the weight cache served them, freshly packed into @p bpack
+    // otherwise (and B itself for direct-B, where row_range reads it
+    // in place).
+    auto b_panel = [&](int64_t cb, int64_t pb, int64_t jc, int64_t pc,
+                       int64_t nc_cur, int64_t kc_cur,
+                       float *bpack) -> const float * {
+        if (direct_b)
+            return nullptr;
+        if (b_pack)
+            return b_pack.data +
+                   b_pack.offsets[cb * b_pack.k_blocks + pb];
+        packBPanel(b, trans_b, k, n, pc, kc_cur, jc, nc_cur, bpack,
+                   nr);
+        return bpack;
+    };
+
     if (par == GemmParallel::kCols) {
         // Disjoint column blocks per task: every C element is still
         // written by exactly one task, and its K-chain order does not
@@ -337,48 +383,51 @@ gemmBlocked(const float *a, bool trans_a, const float *b, bool trans_b,
         // count.  Each task packs its own panels.
         ThreadPool::global().parallelFor(
             0, col_blocks, 1, [&](int64_t cb0, int64_t cb1) {
-                thread_local std::vector<float> apack;
-                thread_local std::vector<float> bpack;
-                apack.resize(apack_elems);
-                bpack.resize(bpack_elems);
+                thread_local PackScratch apack_scratch;
+                thread_local PackScratch bpack_scratch;
+                float *apack = apack_scratch.acquire(apack_elems);
+                float *bpack = bpack_scratch.acquire(bpack_elems);
                 for (int64_t cb = cb0; cb < cb1; ++cb) {
                     const int64_t jc = cb * ncb;
                     const int64_t nc_cur = std::min(ncb, n - jc);
                     for (int64_t pc = 0; pc < k; pc += kcb) {
                         const int64_t kc_cur = std::min(kcb, k - pc);
-                        if (!direct_b)
-                            packB(b, trans_b, k, n, pc, kc_cur, jc,
-                                  nc_cur, bpack.data(), nr);
-                        row_range(jc, nc_cur, pc, kc_cur, bpack.data(),
-                                  0, row_blocks, apack.data());
+                        const float *bp =
+                            b_panel(cb, pc / kcb, jc, pc, nc_cur,
+                                    kc_cur, bpack);
+                        row_range(jc, nc_cur, pc, kc_cur, bp, 0,
+                                  row_blocks, apack);
                     }
                 }
             });
         return;
     }
 
-    std::vector<float> bpack(bpack_elems);
+    // Serial / row-parallel path: the B pack buffer is per-thread and
+    // reused across calls, exactly like the kCols path (it used to be
+    // a fresh heap vector every call).
+    thread_local PackScratch serial_bpack_scratch;
+    float *bpack = serial_bpack_scratch.acquire(bpack_elems);
     auto panel = [&](int64_t jc, int64_t pc) {
         const int64_t nc_cur = std::min(ncb, n - jc);
         const int64_t kc_cur = std::min(kcb, k - pc);
-        if (!direct_b)
-            packB(b, trans_b, k, n, pc, kc_cur, jc, nc_cur,
-                  bpack.data(), nr);
+        const float *bp = b_panel(jc / ncb, pc / kcb, jc, pc, nc_cur,
+                                  kc_cur, bpack);
         if (par == GemmParallel::kRows) {
             ThreadPool::global().parallelFor(
                 0, row_blocks, 1, [&](int64_t blk0, int64_t blk1) {
                     // Per-thread so concurrent row blocks never share
                     // a pack buffer; reused across calls on a thread.
-                    thread_local std::vector<float> apack;
-                    apack.resize(apack_elems);
-                    row_range(jc, nc_cur, pc, kc_cur, bpack.data(),
-                              blk0, blk1, apack.data());
+                    thread_local PackScratch apack_scratch;
+                    float *apack = apack_scratch.acquire(apack_elems);
+                    row_range(jc, nc_cur, pc, kc_cur, bp, blk0, blk1,
+                              apack);
                 });
         } else {
-            thread_local std::vector<float> apack;
-            apack.resize(apack_elems);
-            row_range(jc, nc_cur, pc, kc_cur, bpack.data(), 0,
-                      row_blocks, apack.data());
+            thread_local PackScratch apack_scratch;
+            float *apack = apack_scratch.acquire(apack_elems);
+            row_range(jc, nc_cur, pc, kc_cur, bp, 0, row_blocks,
+                      apack);
         }
     };
 
@@ -391,6 +440,27 @@ gemmBlocked(const float *a, bool trans_a, const float *b, bool trans_b,
             for (int64_t jc = 0; jc < n; jc += ncb)
                 panel(jc, pc);
     }
+}
+
+/**
+ * Consult the packed-weight cache for both operands (registered
+ * weights only; see tensor/pack_cache.h).  kDirect schedules read B
+ * in place, so there is nothing to cache for B there.
+ */
+void
+lookupCachedPacks(const Tensor &a, bool trans_a, const Tensor &b,
+                  bool trans_b, int64_t m, int64_t n, int64_t k,
+                  float alpha, const GemmSchedule &sch,
+                  CachedPack &a_pack, CachedPack &b_pack,
+                  CachedPackHold &a_hold, CachedPackHold &b_hold)
+{
+    if (!packCacheEnabled())
+        return;
+    (void)n;
+    const bool direct_b = sch.pack_b == GemmPackB::kDirect && !trans_b;
+    if (!direct_b)
+        b_pack = lookupPackedB(b, trans_b, k, n, sch, b_hold);
+    a_pack = lookupPackedA(a, trans_a, m, k, alpha, sch, a_hold);
 }
 
 /** Shape/consistency checks shared by gemm() and gemmReference(). */
@@ -450,9 +520,13 @@ gemm(const Tensor &a, bool trans_a, const Tensor &b, bool trans_b,
     checkGemmOperands(a, trans_a, b, trans_b, m, n, k);
     const GemmSchedule sch = scheduleForCall(
         m, n, k, trans_a, trans_b, ThreadPool::global().numThreads());
+    CachedPack a_pack, b_pack;
+    CachedPackHold a_hold, b_hold;
+    lookupCachedPacks(a, trans_a, b, trans_b, m, n, k, alpha, sch,
+                      a_pack, b_pack, a_hold, b_hold);
     Tensor c = Tensor::zeros(Shape({m, n}));
     gemmBlocked(a.data(), trans_a, b.data(), trans_b, c.data(), m, n, k,
-                alpha, sch, /*allow_parallel=*/true);
+                alpha, sch, /*allow_parallel=*/true, a_pack, b_pack);
     return c;
 }
 
@@ -465,9 +539,13 @@ gemmWithSchedule(const Tensor &a, bool trans_a, const Tensor &b,
     std::string why;
     ECHO_REQUIRE(scheduleLegal(sch, trans_b, &why),
                  "illegal GEMM schedule [", sch.toString(), "]: ", why);
+    CachedPack a_pack, b_pack;
+    CachedPackHold a_hold, b_hold;
+    lookupCachedPacks(a, trans_a, b, trans_b, m, n, k, alpha, sch,
+                      a_pack, b_pack, a_hold, b_hold);
     Tensor c = Tensor::zeros(Shape({m, n}));
     gemmBlocked(a.data(), trans_a, b.data(), trans_b, c.data(), m, n, k,
-                alpha, sch, /*allow_parallel=*/true);
+                alpha, sch, /*allow_parallel=*/true, a_pack, b_pack);
     return c;
 }
 

@@ -92,9 +92,11 @@ crossEntropy(const Tensor &logits, const Tensor &labels)
     const int64_t v = logits.shape()[1];
     ECHO_REQUIRE(labels.numel() == n, "label count mismatch");
 
-    // logSoftmaxLastAxis is row-parallel; the scalar loss reduction
-    // below stays serial so its summation order is fixed.
-    const Tensor logp = logSoftmaxLastAxis(logits);
+    // Per-row log-softmax computed inline, in exactly the float-op
+    // order logSoftmaxLastAxis uses — bit-identical loss without
+    // materializing the [N x V] temporary (which would defeat the
+    // execution tape's zero-allocation steady state).  The serial loop
+    // keeps the summation order fixed.
     double loss = 0.0;
     const int64_t valid = countValidLabels(labels);
     for (int64_t i = 0; i < n; ++i) {
@@ -103,7 +105,16 @@ crossEntropy(const Tensor &logits, const Tensor &labels)
             continue;
         const int64_t label = static_cast<int64_t>(lf);
         ECHO_REQUIRE(label < v, "label ", label, " out of vocab ", v);
-        loss -= logp.data()[i * v + label];
+        const float *src = logits.data() + i * v;
+        float mx = src[0];
+        for (int64_t j = 1; j < v; ++j)
+            mx = std::max(mx, src[j]);
+        double denom = 0.0;
+        for (int64_t j = 0; j < v; ++j)
+            denom += std::exp(src[j] - mx);
+        const float log_denom =
+            static_cast<float>(std::log(denom)) + mx;
+        loss -= src[label] - log_denom;
     }
     Tensor out(Shape({1}));
     out.data()[0] =
@@ -113,14 +124,16 @@ crossEntropy(const Tensor &logits, const Tensor &labels)
 }
 
 Tensor
-crossEntropyGrad(const Tensor &logits, const Tensor &labels)
+crossEntropyGrad(const Tensor &logits, const Tensor &labels,
+                 float loss_grad)
 {
     const int64_t n = logits.shape()[0];
     const int64_t v = logits.shape()[1];
     Tensor grad = softmaxLastAxis(logits);
     const int64_t valid = countValidLabels(labels);
     const float scale =
-        valid > 0 ? 1.0f / static_cast<float>(valid) : 0.0f;
+        (valid > 0 ? 1.0f / static_cast<float>(valid) : 0.0f) *
+        loss_grad;
     const float *pl = labels.data();
     float *pg = grad.data();
     parallelUnits(n, v, [=](int64_t i0, int64_t i1) {
@@ -201,11 +214,18 @@ Tensor
 embeddingGrad(const Tensor &table, const Tensor &ids,
               const Tensor &out_grad)
 {
-    const int64_t h = table.shape()[1];
+    return embeddingGrad(table.shape(), ids, out_grad);
+}
+
+Tensor
+embeddingGrad(const Shape &table_shape, const Tensor &ids,
+              const Tensor &out_grad)
+{
+    const int64_t h = table_shape[1];
     const int64_t count = ids.numel();
     ECHO_REQUIRE(out_grad.numel() == count * h,
                  "embeddingGrad size mismatch");
-    Tensor grad = Tensor::zeros(table.shape());
+    Tensor grad = Tensor::zeros(table_shape);
     const float *pi = ids.data();
     const float *pg = out_grad.data();
     float *pd = grad.data();

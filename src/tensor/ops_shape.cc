@@ -66,9 +66,7 @@ concat(const std::vector<Tensor> &parts, int axis)
         cat_dim += p.shape()[axis];
     }
 
-    std::vector<int64_t> out_dims = first.dims();
-    out_dims[static_cast<size_t>(axis)] = cat_dim;
-    Tensor c{Shape(out_dims)};
+    Tensor c{first.withDim(axis, cat_dim)};
 
     // Copy part by part: outer = product of dims before axis,
     // inner = product of dims after axis.
@@ -107,9 +105,7 @@ slice(const Tensor &a, int axis, int64_t begin, int64_t end)
                  "slice range [", begin, ", ", end, ") out of [0, ",
                  extent, ")");
 
-    std::vector<int64_t> out_dims = a.shape().dims();
-    out_dims[static_cast<size_t>(axis)] = end - begin;
-    Tensor c{Shape(out_dims)};
+    Tensor c{a.shape().withDim(axis, end - begin)};
 
     int64_t outer = 1;
     for (int d = 0; d < axis; ++d)

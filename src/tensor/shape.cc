@@ -6,16 +6,26 @@
 
 namespace echo {
 
-Shape::Shape(std::initializer_list<int64_t> dims) : dims_(dims)
+void
+Shape::assign(const int64_t *d, size_t n)
 {
-    for (int64_t d : dims_)
-        ECHO_REQUIRE(d >= 0, "negative dimension in shape");
+    ECHO_REQUIRE(n <= static_cast<size_t>(kMaxDims), "shape rank ", n,
+                 " exceeds kMaxDims=", kMaxDims);
+    ndim_ = static_cast<int>(n);
+    for (size_t i = 0; i < n; ++i) {
+        ECHO_REQUIRE(d[i] >= 0, "negative dimension in shape");
+        dims_[i] = d[i];
+    }
 }
 
-Shape::Shape(std::vector<int64_t> dims) : dims_(std::move(dims))
+Shape::Shape(std::initializer_list<int64_t> dims)
 {
-    for (int64_t d : dims_)
-        ECHO_REQUIRE(d >= 0, "negative dimension in shape");
+    assign(dims.begin(), dims.size());
+}
+
+Shape::Shape(const std::vector<int64_t> &dims)
+{
+    assign(dims.data(), dims.size());
 }
 
 int
@@ -39,27 +49,51 @@ int64_t
 Shape::numel() const
 {
     int64_t n = 1;
-    for (int64_t d : dims_)
-        n *= d;
+    for (int i = 0; i < ndim_; ++i)
+        n *= dims_[static_cast<size_t>(i)];
     return n;
+}
+
+Shape
+Shape::withDim(int axis, int64_t extent) const
+{
+    const int a = normalizeAxis(axis);
+    ECHO_REQUIRE(extent >= 0, "negative dimension in shape");
+    Shape out = *this;
+    out.dims_[static_cast<size_t>(a)] = extent;
+    return out;
 }
 
 Shape
 Shape::dropAxis(int axis) const
 {
     const int a = normalizeAxis(axis);
-    std::vector<int64_t> out = dims_;
-    out.erase(out.begin() + a);
-    return Shape(std::move(out));
+    Shape out;
+    out.ndim_ = ndim_ - 1;
+    for (int i = 0, j = 0; i < ndim_; ++i)
+        if (i != a)
+            out.dims_[static_cast<size_t>(j++)] =
+                dims_[static_cast<size_t>(i)];
+    return out;
 }
 
 Shape
 Shape::insertAxis(int axis, int64_t n) const
 {
     ECHO_CHECK(axis >= 0 && axis <= ndim(), "bad insert axis");
-    std::vector<int64_t> out = dims_;
-    out.insert(out.begin() + axis, n);
-    return Shape(std::move(out));
+    ECHO_REQUIRE(ndim_ + 1 <= kMaxDims, "shape rank ", ndim_ + 1,
+                 " exceeds kMaxDims=", kMaxDims);
+    ECHO_REQUIRE(n >= 0, "negative dimension in shape");
+    Shape out;
+    out.ndim_ = ndim_ + 1;
+    for (int i = 0, j = 0; j < out.ndim_; ++j) {
+        if (j == axis)
+            out.dims_[static_cast<size_t>(j)] = n;
+        else
+            out.dims_[static_cast<size_t>(j)] =
+                dims_[static_cast<size_t>(i++)];
+    }
+    return out;
 }
 
 std::string
@@ -67,8 +101,9 @@ Shape::toString() const
 {
     std::ostringstream oss;
     oss << "[";
-    for (size_t i = 0; i < dims_.size(); ++i)
-        oss << dims_[i] << (i + 1 == dims_.size() ? "" : "x");
+    for (int i = 0; i < ndim_; ++i)
+        oss << dims_[static_cast<size_t>(i)]
+            << (i + 1 == ndim_ ? "" : "x");
     oss << "]";
     return oss.str();
 }

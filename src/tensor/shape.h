@@ -5,10 +5,16 @@
  * Shapes are value types used pervasively by the tensor ops, the graph
  * IR's shape inference, and the memory planner (a value's footprint is
  * numel() * sizeof(float)).
+ *
+ * Extents live inline (no heap) so that copying a Shape — which every
+ * Tensor construction and every op forward does — never allocates.
+ * kMaxDims bounds the rank; nothing in the LSTM/NMT stack goes past 4,
+ * so 6 leaves headroom without bloating the value type.
  */
 #ifndef ECHO_TENSOR_SHAPE_H
 #define ECHO_TENSOR_SHAPE_H
 
+#include <array>
 #include <cstdint>
 #include <initializer_list>
 #include <string>
@@ -20,16 +26,19 @@ namespace echo {
 class Shape
 {
   public:
+    /** Maximum supported rank (extents are stored inline). */
+    static constexpr int kMaxDims = 6;
+
     Shape() = default;
 
     /** Construct from a braced list, e.g.\ Shape({B, T, H}). */
     Shape(std::initializer_list<int64_t> dims);
 
     /** Construct from a vector of extents. */
-    explicit Shape(std::vector<int64_t> dims);
+    explicit Shape(const std::vector<int64_t> &dims);
 
     /** Number of dimensions. */
-    int ndim() const { return static_cast<int>(dims_.size()); }
+    int ndim() const { return ndim_; }
 
     /** Extent of dimension @p axis; negative axes count from the back. */
     int64_t dim(int axis) const;
@@ -43,8 +52,15 @@ class Shape
     /** Size in bytes assuming FP32 elements. */
     int64_t bytes() const { return numel() * 4; }
 
-    /** All extents. */
-    const std::vector<int64_t> &dims() const { return dims_; }
+    /** All extents, as a fresh vector (allocates; cold paths only). */
+    std::vector<int64_t> dims() const
+    {
+        return std::vector<int64_t>(dims_.begin(), dims_.begin() + ndim_);
+    }
+
+    /** This shape with dimension @p axis replaced by @p extent
+     *  (allocation-free; the hot-path alternative to dims()). */
+    Shape withDim(int axis, int64_t extent) const;
 
     /** Shape with @p axis removed. */
     Shape dropAxis(int axis) const;
@@ -53,17 +69,30 @@ class Shape
     Shape insertAxis(int axis, int64_t n) const;
 
     /** True when both shapes have identical extents. */
-    bool operator==(const Shape &other) const { return dims_ == other.dims_; }
+    bool operator==(const Shape &other) const
+    {
+        if (ndim_ != other.ndim_)
+            return false;
+        for (int i = 0; i < ndim_; ++i)
+            if (dims_[static_cast<size_t>(i)] !=
+                other.dims_[static_cast<size_t>(i)])
+                return false;
+        return true;
+    }
     bool operator!=(const Shape &other) const { return !(*this == other); }
 
     /** Render as "[2x3x4]". */
     std::string toString() const;
 
   private:
-    std::vector<int64_t> dims_;
+    std::array<int64_t, kMaxDims> dims_{};
+    int ndim_ = 0;
 
     /** Normalize a possibly negative axis and bounds-check it. */
     int normalizeAxis(int axis) const;
+
+    /** Shared ctor body: validate and store @p n extents from @p d. */
+    void assign(const int64_t *d, size_t n);
 };
 
 } // namespace echo

@@ -1,51 +1,90 @@
 #include "tensor/tensor.h"
 
 #include <cmath>
+#include <cstring>
 
 #include "core/logging.h"
 #include "core/rng.h"
+#include "obs/counters.h"
+#include "tensor/alloc_hook.h"
 
 namespace echo {
 
-Tensor::Tensor(Shape shape)
-    : storage_(std::make_shared<std::vector<float>>(
-          static_cast<size_t>(shape.numel()))),
-      shape_(std::move(shape))
+AllocHook &
+threadAllocHook()
 {
+    thread_local AllocHook hook;
+    return hook;
 }
 
-Tensor::Tensor(Shape shape, float value)
-    : storage_(std::make_shared<std::vector<float>>(
-          static_cast<size_t>(shape.numel()), value)),
-      shape_(std::move(shape))
+void
+Tensor::allocate()
 {
+    AllocHook &hook = threadAllocHook();
+    if (hook.armed()) {
+        const int64_t bytes = shape_.bytes();
+        for (int i = 0; i < hook.count; ++i) {
+            AllocSlot &slot = hook.slots[i];
+            if (!slot.claimed && slot.bytes == bytes) {
+                slot.claimed = true;
+                // Aliasing constructor: shares the region owner's
+                // control block — no heap allocation on this path.
+                storage_ = std::shared_ptr<void>(*slot.owner, slot.ptr);
+                data_ = slot.ptr;
+                return;
+            }
+        }
+        // No slot fits: fall back to the heap.  Correct but visible —
+        // the tape's zero-malloc claim is audited via this counter.
+        // kScheduling: which allocations run under an armed hook can
+        // depend on dispatch (thread count picks GEMM schedules etc.).
+        static obs::Counter &c_miss =
+            obs::counter("tape.arena_miss", obs::CounterKind::kScheduling);
+        c_miss.add(1);
+    }
+    auto vec = std::make_shared<std::vector<float>>(
+        static_cast<size_t>(shape_.numel()));
+    data_ = vec->data();
+    storage_ = std::move(vec);
 }
 
-Tensor::Tensor(Shape shape, std::vector<float> values)
-    : storage_(std::make_shared<std::vector<float>>(std::move(values))),
-      shape_(std::move(shape))
+Tensor::Tensor(Shape shape) : shape_(shape)
 {
-    ECHO_REQUIRE(static_cast<int64_t>(storage_->size()) == shape_.numel(),
-                 "value count ", storage_->size(), " != shape ",
+    allocate();
+}
+
+Tensor::Tensor(Shape shape, float value) : shape_(shape)
+{
+    allocate();
+    fill(value);
+}
+
+Tensor::Tensor(Shape shape, std::vector<float> values) : shape_(shape)
+{
+    ECHO_REQUIRE(static_cast<int64_t>(values.size()) == shape_.numel(),
+                 "value count ", values.size(), " != shape ",
                  shape_.toString());
+    auto vec = std::make_shared<std::vector<float>>(std::move(values));
+    data_ = vec->data();
+    storage_ = std::move(vec);
 }
 
 Tensor
 Tensor::zeros(Shape shape)
 {
-    return Tensor(std::move(shape), 0.0f);
+    return Tensor(shape, 0.0f);
 }
 
 Tensor
 Tensor::full(Shape shape, float value)
 {
-    return Tensor(std::move(shape), value);
+    return Tensor(shape, value);
 }
 
 Tensor
 Tensor::uniform(Shape shape, Rng &rng, float lo, float hi)
 {
-    Tensor t(std::move(shape));
+    Tensor t(shape);
     float *p = t.data();
     const int64_t n = t.numel();
     for (int64_t i = 0; i < n; ++i)
@@ -56,7 +95,7 @@ Tensor::uniform(Shape shape, Rng &rng, float lo, float hi)
 Tensor
 Tensor::gaussian(Shape shape, Rng &rng, float mean, float stddev)
 {
-    Tensor t(std::move(shape));
+    Tensor t(shape);
     float *p = t.data();
     const int64_t n = t.numel();
     for (int64_t i = 0; i < n; ++i)
@@ -64,18 +103,23 @@ Tensor::gaussian(Shape shape, Rng &rng, float mean, float stddev)
     return t;
 }
 
-float *
-Tensor::data()
+Tensor
+Tensor::fromExternal(Shape shape, float *data, std::shared_ptr<void> owner)
 {
-    ECHO_CHECK(storage_, "access to undefined tensor");
-    return storage_->data();
+    ECHO_REQUIRE(data != nullptr || shape.numel() == 0,
+                 "fromExternal with null data");
+    Tensor t;
+    t.shape_ = shape;
+    t.data_ = data;
+    t.storage_ = std::move(owner);
+    return t;
 }
 
-const float *
-Tensor::data() const
+float *
+Tensor::checkedData() const
 {
-    ECHO_CHECK(storage_, "access to undefined tensor");
-    return storage_->data();
+    ECHO_CHECK(data_, "access to undefined tensor");
+    return data_;
 }
 
 float &
@@ -128,7 +172,8 @@ Tensor::reshape(Shape new_shape) const
                  " changes element count");
     Tensor t;
     t.storage_ = storage_;
-    t.shape_ = std::move(new_shape);
+    t.data_ = data_;
+    t.shape_ = new_shape;
     return t;
 }
 
@@ -136,9 +181,12 @@ Tensor
 Tensor::clone() const
 {
     Tensor t;
-    if (storage_)
-        t.storage_ = std::make_shared<std::vector<float>>(*storage_);
     t.shape_ = shape_;
+    if (data_) {
+        t.allocate();
+        std::memcpy(t.data_, data_,
+                    static_cast<size_t>(numel()) * sizeof(float));
+    }
     return t;
 }
 

@@ -7,6 +7,14 @@
  * aliasing is safe).  All numeric work in the library goes through these
  * tensors; the GPU is modelled analytically, so CPU numerics here only
  * need to be correct, not fast, and are kept deliberately simple.
+ *
+ * Storage is an opaque owner (shared_ptr<void>) plus a raw data
+ * pointer, so a tensor can wrap memory it does not manage — an
+ * execution-tape arena slot, a caller's buffer — as long as the owner
+ * keeps it alive.  The allocating constructors consult the thread's
+ * AllocSlot hook (tensor/alloc_hook.h) first, which is how the tape
+ * places op outputs at planner-assigned arena offsets without the ops
+ * knowing.
  */
 #ifndef ECHO_TENSOR_TENSOR_H
 #define ECHO_TENSOR_TENSOR_H
@@ -50,12 +58,27 @@ class Tensor
     static Tensor gaussian(Shape shape, Rng &rng, float mean = 0.0f,
                            float stddev = 1.0f);
 
+    /**
+     * Wrap external memory: @p data must hold shape.numel() floats and
+     * stay valid for as long as @p owner does.  No copy, no allocation
+     * beyond the shared_ptr bookkeeping.
+     */
+    static Tensor fromExternal(Shape shape, float *data,
+                               std::shared_ptr<void> owner);
+
     const Shape &shape() const { return shape_; }
     int64_t numel() const { return shape_.numel(); }
-    bool defined() const { return storage_ != nullptr; }
+    bool defined() const { return data_ != nullptr; }
 
-    float *data();
-    const float *data() const;
+    float *data() { return checkedData(); }
+    const float *data() const { return checkedData(); }
+
+    /**
+     * Identity of the underlying storage: two tensors share memory iff
+     * their owners share a control block.  Used by caches keyed on the
+     * buffer (tensor/pack_cache.h) to detect address reuse.
+     */
+    const std::shared_ptr<void> &storageOwner() const { return storage_; }
 
     /** Element access by flat index. */
     float &at(int64_t i);
@@ -88,7 +111,13 @@ class Tensor
     bool allFinite() const;
 
   private:
-    std::shared_ptr<std::vector<float>> storage_;
+    float *checkedData() const;
+
+    /** Heap- or hook-allocate numel floats for shape_ (uninitialized). */
+    void allocate();
+
+    std::shared_ptr<void> storage_;
+    float *data_ = nullptr;
     Shape shape_;
 };
 

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "core/logging.h"
+#include "tensor/pack_cache.h"
 
 namespace echo::train {
 
@@ -45,6 +46,9 @@ SgdOptimizer::step(ParamStore &params, const NamedWeights &weights,
             vel.at(j) = static_cast<float>(momentum_) * vel.at(j) + g;
             param.at(j) -= static_cast<float>(lr_) * vel.at(j);
         }
+        // In-place update: invalidate any packed GEMM panels built
+        // from this parameter's storage.
+        ops::bumpTensorVersion(param);
     }
     return norm;
 }
@@ -93,6 +97,7 @@ AdamOptimizer::step(ParamStore &params, const NamedWeights &weights,
             param.at(j) -= static_cast<float>(
                 lr_ * m_hat / (std::sqrt(v_hat) + eps_));
         }
+        ops::bumpTensorVersion(param);
     }
     return norm;
 }

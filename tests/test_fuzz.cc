@@ -36,8 +36,10 @@
 #include "echo/recompute_pass.h"
 #include "analysis/numeric_verify.h"
 #include "graph/autodiff.h"
+#include "analysis/tape_audit.h"
 #include "graph/executor.h"
 #include "graph/fusion.h"
+#include "graph/tape.h"
 #include "graph/ops/oplib.h"
 #include "memory/planner.h"
 #include "models/nmt.h"
@@ -513,6 +515,43 @@ TEST_P(PassFuzz, RandomBudgetsAlwaysFit)
             << repro(seed) << " solver=" << budget::solverName(solver)
             << " budget=" << budget_bytes;
     }
+}
+
+TEST_P(PassFuzz, TapeMatchesInterpreterBitForBit)
+{
+    const uint64_t seed = GetParam();
+    RandomModel model;
+    model.build(seed, 24);
+    const FeedDict feed = model.feed(seed * 41 + 11);
+
+    graph::Executor ex(model.fetches, graph::ExecMode::kSerial);
+    graph::Tape tape(model.fetches);
+    // The plan IS the allocator: arena sized to the pool peak exactly,
+    // and the record replay audits clean on any random graph.
+    ASSERT_EQ(tape.arenaBytes(), tape.plan().pool_peak_bytes)
+        << repro(seed);
+    const analysis::AnalysisReport audit = analysis::auditTape(tape);
+    ASSERT_TRUE(audit.ok()) << repro(seed) << "\n" << audit.toString();
+
+    for (const int threads : {1, 2, 4}) {
+        ThreadPool::setGlobalNumThreads(threads);
+        const auto ref = ex.run(feed);
+        tape.bindFeeds(feed);
+        for (const bool parallel : {false, true}) {
+            const auto out = tape.run(parallel);
+            const analysis::VerifyResult vr =
+                analysis::compareFetches(out, ref);
+            EXPECT_TRUE(vr.shapes_match)
+                << repro(seed) << " threads=" << threads
+                << " parallel=" << parallel;
+            // Loss AND every weight gradient, bit for bit: running
+            // from the arena may never change a single output bit.
+            EXPECT_EQ(vr.max_abs_diff, 0.0)
+                << repro(seed) << " threads=" << threads
+                << " parallel=" << parallel;
+        }
+    }
+    ThreadPool::setGlobalNumThreads(ThreadPool::defaultNumThreads());
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PassFuzz,
